@@ -1,0 +1,137 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not paper figures, but the knobs the paper's design-space discussion
+(Sections 2-3, 5.1) identifies:
+
+* **NoC port clustering** (Section 2, [89]): sharing NoC ports reduces
+  crossbar cost at the cost of aggregate bandwidth -- UBA, whose entire
+  traffic crosses the crossbar, must suffer more than NUBA.
+* **MDR epoch length** (Section 5.1): the 20 K-cycle epoch is a paper
+  constant; the replication benefit should be robust to the choice.
+* **Compute-oriented partitions** (Section 3, "the NUBA design space"):
+  4 SMs per memory channel instead of 2 shifts the machine toward
+  compute; NUBA must still not lose to UBA.
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.config.presets import small_config
+from repro.config.topology import (
+    Architecture,
+    ReplicationPolicy,
+    TopologySpec,
+)
+from repro.core.builders import build_system
+from repro.experiments.runner import RunKey
+from repro.sim.stats import harmonic_mean
+from repro.workloads.suite import get_benchmark
+
+ABLATION_BENCHES = ["KMEANS", "DWT2D", "AN"]
+
+
+def test_ablation_noc_clustering(benchmark, runner):
+    """Clustering NoC ports hurts UBA more than NUBA."""
+
+    def sweep():
+        rows = {}
+        for arch, rep in [
+            (Architecture.MEM_SIDE_UBA, ReplicationPolicy.NONE),
+            (Architecture.NUBA, ReplicationPolicy.MDR),
+        ]:
+            for cluster in (1, 2):
+                speedups = []
+                for bench in ABLATION_BENCHES:
+                    key = RunKey(bench, arch, replication=rep,
+                                 noc_cluster=cluster)
+                    base = RunKey(bench, arch, replication=rep)
+                    speedups.append(runner.speedup(key, base))
+                rows[(arch.value, cluster)] = harmonic_mean(speedups)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_table(
+        ["arch", "cluster", "perf vs unclustered"],
+        [[arch, cluster, f"{value:.3f}x"]
+         for (arch, cluster), value in sorted(rows.items())],
+    ))
+    uba_loss = rows[("mem-side-uba", 2)]
+    nuba_loss = rows[("nuba", 2)]
+    assert uba_loss <= 1.01  # clustering never helps UBA
+    assert nuba_loss >= uba_loss - 0.02  # NUBA tolerates it at least as well
+
+
+def test_ablation_mdr_epoch_length(benchmark, runner):
+    """The MDR benefit is robust across epoch lengths."""
+
+    def sweep():
+        gains = {}
+        gpu = runner.base_gpu
+        for epoch in (1000, 2000, 8000):
+            speedups = []
+            for bench in ("AN", "2MM"):
+                workload_bench = get_benchmark(bench)
+                results = {}
+                for rep in (ReplicationPolicy.NONE, ReplicationPolicy.MDR):
+                    topo = TopologySpec(
+                        architecture=Architecture.NUBA,
+                        replication=rep, mdr_epoch=epoch,
+                    )
+                    system = build_system(gpu, topo)
+                    results[rep] = system.run_workload(
+                        workload_bench.instantiate(gpu)
+                    )
+                speedups.append(
+                    results[ReplicationPolicy.MDR].speedup_over(
+                        results[ReplicationPolicy.NONE]
+                    )
+                )
+            gains[epoch] = harmonic_mean(speedups)
+        return gains
+
+    gains = run_once(benchmark, sweep)
+    print()
+    print(format_table(
+        ["MDR epoch (cycles)", "MDR gain over No-Rep"],
+        [[epoch, f"{gain:.3f}x"] for epoch, gain in sorted(gains.items())],
+    ))
+    assert all(gain > 1.1 for gain in gains.values())
+
+
+def test_ablation_compute_oriented_partitions(benchmark):
+    """4 SMs per channel (compute-oriented, Section 3): NUBA holds up."""
+
+    def sweep():
+        base = small_config()
+        # 4:2:1 ratio -- twice the SMs per partition, same memory system.
+        gpu = replace(base, num_sms=base.num_channels * 4)
+        results = {}
+        for arch, rep in [
+            (Architecture.MEM_SIDE_UBA, ReplicationPolicy.NONE),
+            (Architecture.NUBA, ReplicationPolicy.MDR),
+        ]:
+            topo = TopologySpec(architecture=arch, replication=rep,
+                                mdr_epoch=2000)
+            speedups = []
+            for bench in ABLATION_BENCHES:
+                system = build_system(gpu, topo)
+                workload = get_benchmark(bench).instantiate(gpu)
+                results.setdefault(arch.value, {})[bench] = (
+                    system.run_workload(workload).cycles
+                )
+        return results
+
+    results = run_once(benchmark, sweep)
+    speedups = [
+        results["mem-side-uba"][b] / results["nuba"][b]
+        for b in ABLATION_BENCHES
+    ]
+    print()
+    print(format_table(
+        ["bench", "NUBA speedup (4 SMs/channel)"],
+        [[b, f"{s:.3f}x"] for b, s in zip(ABLATION_BENCHES, speedups)],
+    ))
+    assert harmonic_mean(speedups) > 0.95

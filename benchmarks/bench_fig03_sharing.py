@@ -1,0 +1,30 @@
+"""Figure 3: memory-page sharing degree per benchmark.
+
+Runs each benchmark on the memory-side UBA baseline and buckets its
+pages by the number of SMs that accessed them. The paper's shape: for
+low-sharing applications >80% of pages are touched by a single SM; the
+high-sharing group has a substantial shared fraction.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figures
+from repro.workloads.suite import BENCHMARKS
+
+
+def test_fig03_sharing_degree(benchmark, runner, bench_subset):
+    result = run_once(
+        benchmark, lambda: figures.fig3_sharing(runner, bench_subset)
+    )
+    print()
+    print(result.render())
+
+    # Paper shape: the measured classification must agree with Table 2's
+    # sharing class for (almost) every benchmark.
+    assert result.summary["classification_mismatches"] <= 1
+
+    # Low-sharing rows must have a dominant single-SM bucket.
+    for row in result.rows:
+        bench, one_sm = row[0], float(row[1].rstrip("%"))
+        if BENCHMARKS[bench].sharing == "low":
+            assert one_sm > 70.0, f"{bench}: {one_sm}% single-SM"

@@ -1,0 +1,19 @@
+"""Figure 8: memory bandwidth perceived by the SMs (replies/cycle).
+
+Paper shape: NUBA's performance gain correlates with higher effective
+bandwidth (+38.9% on average in the paper); NUBA must deliver more
+replies per cycle than UBA on average.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig08_perceived_bandwidth(benchmark, runner, bench_subset):
+    result = run_once(
+        benchmark, lambda: figures.fig8_bandwidth(runner, bench_subset)
+    )
+    print()
+    print(result.render())
+    assert result.summary["nuba_bandwidth_improvement_pct"] > 0.0

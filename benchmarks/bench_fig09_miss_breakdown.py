@@ -1,0 +1,32 @@
+"""Figure 9: L1-miss breakdown, local vs remote.
+
+Paper shape: under UBA every L1 miss is remote (traverses the NoC);
+under NUBA the majority turn into local accesses over the partition
+links (63.9% on average in the paper), with replication converting
+read-only shared accesses for the high-sharing group.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figures
+from repro.workloads.suite import BENCHMARKS
+
+
+def test_fig09_local_remote(benchmark, runner, bench_subset):
+    result = run_once(
+        benchmark,
+        lambda: figures.fig9_miss_breakdown(runner, bench_subset),
+    )
+    print()
+    print(result.render())
+
+    # UBA is remote by construction.
+    for row in result.rows:
+        assert row[1] == "0.0%"
+    # NUBA turns a majority of misses local on average.
+    assert result.summary["nuba_mean_local_pct"] > 40.0
+    # Low-sharing benchmarks are strongly local under NUBA.
+    for row in result.rows:
+        bench, nuba_local = row[0], float(row[3].rstrip("%"))
+        if BENCHMARKS[bench].sharing == "low":
+            assert nuba_local > 50.0, f"{bench}: {nuba_local}%"

@@ -1,0 +1,51 @@
+"""Figure 10: performance versus NoC power trade-off.
+
+Paper shape: NUBA is far less NoC-bandwidth-sensitive than UBA, so a
+NUBA GPU with a half-bandwidth NoC matches or beats the iso-resource UBA
+while spending an order of magnitude less NoC power than the 4x
+(A100-class) UBA NoC. Paper headline: 12.1x / 9.4x NoC power reduction
+at similar performance.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def _row_lookup(result, arch, point_label):
+    for row in result.rows:
+        if row[0] == arch and row[1].startswith(point_label):
+            return row
+    raise AssertionError(f"missing row {arch} {point_label}")
+
+
+def test_fig10_noc_power_tradeoff(benchmark, runner, sweep_subset):
+    result = run_once(
+        benchmark, lambda: figures.fig10_noc_power(runner, sweep_subset)
+    )
+    print()
+    print(result.render())
+
+    def perf(row):
+        return float(row[2].rstrip("x"))
+
+    def power(row):
+        return float(row[3])
+
+    nuba_small = _row_lookup(result, "NUBA", "700")
+    uba_iso = _row_lookup(result, "UBA", "1400")
+    uba_big = _row_lookup(result, "UBA", "5600")
+
+    # Shape 1: NUBA with the half-bandwidth NoC stays close to the
+    # iso-resource UBA (the paper reports parity with the 4x NoC UBA;
+    # our scaled UBA keeps gaining from NoC bandwidth slightly longer,
+    # see EXPERIMENTS.md).
+    assert perf(nuba_small) >= perf(uba_iso) * 0.80
+    # Shape 2: at far lower NoC power than the 4x UBA NoC.
+    assert power(uba_big) / power(nuba_small) > 4.0
+    # Shape 3: UBA is NoC-bandwidth sensitive, NUBA much less so.
+    uba_sensitivity = perf(uba_big) / perf(_row_lookup(result, "UBA", "700"))
+    nuba_sensitivity = (
+        perf(_row_lookup(result, "NUBA", "5600")) / perf(nuba_small)
+    )
+    assert uba_sensitivity > nuba_sensitivity

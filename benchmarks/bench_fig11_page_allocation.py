@@ -1,0 +1,36 @@
+"""Figure 11: page-allocation policy study on NUBA.
+
+Paper shape: LAB performs like first-touch for low-sharing applications
+and like round-robin for high-sharing ones, beating both on average
+(+88.9% over first-touch, +14.3% over round-robin in the paper).
+"""
+
+from conftest import run_once
+
+from repro.experiments import figures
+from repro.workloads.suite import BENCHMARKS
+
+
+def test_fig11_page_allocation(benchmark, runner, bench_subset):
+    result = run_once(
+        benchmark,
+        lambda: figures.fig11_page_allocation(runner, bench_subset),
+    )
+    print()
+    print(result.render())
+
+    summary = result.summary
+    # LAB beats first-touch on average (driven by high-sharing).
+    assert summary["lab_vs_first_touch_pct"] > 0.0
+    # LAB is at worst mildly behind round-robin on a subset; on average
+    # it must be competitive.
+    assert summary["lab_vs_round_robin_pct"] > -10.0
+
+    # Per-class shape: for high-sharing benchmarks first-touch loses to
+    # LAB; for low-sharing benchmarks LAB stays close to first-touch.
+    for row in result.rows:
+        bench = row[0]
+        ft = float(row[1].rstrip("x"))
+        lab = float(row[3].rstrip("x"))
+        if BENCHMARKS[bench].sharing == "high":
+            assert lab >= ft * 0.95, f"{bench}: LAB {lab} vs FT {ft}"

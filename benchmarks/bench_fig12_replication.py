@@ -1,0 +1,52 @@
+"""Figure 12: data-replication study (No-Rep vs Full-Rep vs MDR).
+
+Paper shape: full replication dramatically helps the small-read-only-set
+benchmarks (2MM +189.9%, AN +75.1%, SN +72.0%, RN +33.9%) and hurts the
+large-set ones (SC -17.9%, BT -18.6%, GRU -18.3%, BICG -16.5%) through
+LLC thrashing. MDR tracks the better of the two: +15.1% on average,
+never catastrophically below No-Rep.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+#: Benchmarks whose read-only sets are small enough to replicate.
+WINNERS = ("2MM", "AN")
+#: Benchmarks whose read-only sets thrash the LLC when replicated.
+LOSERS = ("BT", "BICG")
+
+
+def test_fig12_replication(benchmark, runner):
+    benches = ["2MM", "AN", "SN", "RN", "LEU", "BT", "GRU", "BICG", "SC"]
+    result = run_once(
+        benchmark, lambda: figures.fig12_replication(runner, benches)
+    )
+    print()
+    print(result.render())
+
+    by_bench = {row[0]: row for row in result.rows}
+
+    def full(bench):
+        return float(by_bench[bench][1].rstrip("x"))
+
+    def mdr(bench):
+        return float(by_bench[bench][2].rstrip("x"))
+
+    # Shape 1: full replication helps the small-set benchmarks a lot...
+    for bench in WINNERS:
+        assert full(bench) > 1.15, f"{bench} full-rep {full(bench)}"
+    # ...and hurts the large-set ones.
+    for bench in LOSERS:
+        assert full(bench) < 1.0, f"{bench} full-rep {full(bench)}"
+
+    # Shape 2: MDR follows the winner: near Full-Rep where it helps,
+    # near No-Rep where it hurts.
+    for bench in WINNERS:
+        assert mdr(bench) > 1.10, f"{bench} MDR {mdr(bench)}"
+    for bench in LOSERS:
+        assert mdr(bench) > full(bench), f"{bench} MDR not protective"
+
+    # Shape 3: positive on average, never much worse than No-Rep.
+    assert result.summary["mdr_vs_norep_pct"] > 0.0
+    assert result.summary["mdr_never_much_worse_than_norep"]

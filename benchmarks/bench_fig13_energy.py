@@ -1,0 +1,28 @@
+"""Figure 13: normalised GPU energy, NoC versus the rest of the GPU.
+
+Paper shape: NUBA cuts NoC energy substantially (54.5% in the paper --
+most accesses stay off the inter-partition crossbar) and total GPU
+energy by a smaller amount (16.0%), because the NoC is only one of the
+energy components.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig13_energy(benchmark, runner, bench_subset):
+    result = run_once(
+        benchmark, lambda: figures.fig13_energy(runner, bench_subset)
+    )
+    print()
+    print(result.render())
+
+    summary = result.summary
+    # Shape 1: NUBA saves NoC energy on average.
+    assert summary["mean_noc_energy_saving_pct"] > 20.0
+    # Shape 2: total GPU energy also drops, by less than the NoC part.
+    assert summary["mean_total_energy_saving_pct"] > 0.0
+    assert summary["mean_total_energy_saving_pct"] < (
+        summary["mean_noc_energy_saving_pct"]
+    )

@@ -1,0 +1,42 @@
+"""Figure 14: sensitivity analyses across the design space.
+
+Paper shapes: NUBA's advantage (i) grows with GPU size (15.9% -> 23.1%
+-> 30.1%), (ii) grows with LLC slices per partition (15.1% / 23.1% /
+41.2%), (iii) grows with LLC capacity (12.9% -> 31.7%), (iv) is roughly
+preserved with large pages and under PAE, and (v) is flat-ish around the
+LAB threshold of 0.9.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def _series(result, axis):
+    return [
+        float(row[2].rstrip("%"))
+        for row in result.rows if row[0] == axis
+    ]
+
+
+def test_fig14_sensitivity(benchmark, runner, sweep_subset):
+    result = run_once(
+        benchmark, lambda: figures.fig14_sensitivity(runner, sweep_subset)
+    )
+    print()
+    print(result.render())
+
+    size = _series(result, "GPU size")
+    slices = _series(result, "LLC slices/partition")
+    capacity = _series(result, "LLC capacity")
+    pages = _series(result, "page size")
+    thresholds = _series(result, "LAB threshold")
+
+    # NUBA helps at every point of the design space sweep.
+    assert all(g > -5.0 for g in size + slices + capacity + pages)
+    # Larger LLC capacity increases the local-hit opportunity.
+    assert capacity[-1] > capacity[0]
+    # More slices per partition -> more local bandwidth -> more gain.
+    assert slices[-1] > slices[0] - 3.0
+    # The LAB threshold is a mild knob (paper: 14.5% / 14.8% / 13.1%).
+    assert max(thresholds) - min(thresholds) < 25.0

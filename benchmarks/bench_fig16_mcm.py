@@ -1,0 +1,27 @@
+"""Figure 16: NUBA on multi-chip-module GPUs.
+
+Paper shape: NUBA's improvement is *larger* on an MCM GPU (+40.0%) than
+on an equally sized monolithic GPU (+30.1%) because the scarce
+inter-module links make locality and replication more valuable.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig16_mcm(benchmark, runner, sweep_subset):
+    result = run_once(
+        benchmark, lambda: figures.fig16_mcm(runner, sweep_subset)
+    )
+    print()
+    print(result.render())
+
+    summary = result.summary
+    # NUBA helps both organisations...
+    assert summary["monolithic_improvement_pct"] > 0.0
+    assert summary["mcm_improvement_pct"] > 0.0
+    # ...and helps the MCM at least as much as the monolithic GPU.
+    assert summary["mcm_improvement_pct"] >= (
+        summary["monolithic_improvement_pct"] - 3.0
+    )

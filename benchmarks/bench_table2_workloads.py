@@ -1,0 +1,33 @@
+"""Table 2: the benchmark catalogue.
+
+Regenerates the Table 2 rows (name, sharing class, footprints) plus the
+scaled page counts this reproduction uses, and times workload
+instantiation + compilation (the PTX read-only analysis) for the whole
+suite.
+"""
+
+from conftest import run_once
+
+from repro.config.presets import small_config
+from repro.experiments import figures
+from repro.workloads.suite import BENCHMARKS, HIGH_SHARING, LOW_SHARING
+
+
+def test_table2_catalogue(benchmark):
+    gpu = small_config()
+
+    def instantiate_all():
+        return [bench.instantiate(gpu) for bench in BENCHMARKS.values()]
+
+    workloads = run_once(benchmark, instantiate_all)
+    print()
+    print(figures.table2_catalogue().render())
+
+    # Paper shape: 29 benchmarks, 16 low-sharing, 13 high-sharing.
+    assert len(workloads) == 29
+    assert len(LOW_SHARING) == 16
+    assert len(HIGH_SHARING) == 13
+    # Every kernel compiled with the read-only pass.
+    for workload in workloads:
+        for kernel in workload.compiled_kernels():
+            assert kernel.read_only_spaces is not None

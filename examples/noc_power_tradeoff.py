@@ -1,0 +1,76 @@
+"""Scenario: trading NoC bandwidth for power (the Figure 10 story).
+
+Conventional UBA GPUs need expensive high-bandwidth crossbars because
+every L1 miss crosses the NoC. NUBA keeps most traffic on cheap local
+links, so the inter-partition NoC can be narrowed dramatically. This
+script sweeps the NoC bandwidth for both architectures on a pair of
+workloads and prints the performance/power frontier.
+
+Run with::
+
+    python examples/noc_power_tradeoff.py
+"""
+
+from dataclasses import replace
+
+from repro import (
+    Architecture,
+    ReplicationPolicy,
+    TopologySpec,
+    build_system,
+    get_benchmark,
+    small_config,
+)
+from repro.analysis.report import format_table
+
+#: NoC bandwidths as fractions of the iso-resource NoC (the paper sweeps
+#: 700 GB/s, 1.4 TB/s and 5.6 TB/s around its 1.4 TB/s baseline).
+SWEEP = (0.5, 1.0, 4.0)
+WORKLOADS = ("KMEANS", "AN")
+
+
+def run_point(arch, rep, noc_scale, bench):
+    gpu = small_config()
+    gpu = replace(
+        gpu,
+        noc=gpu.noc.with_bandwidth(gpu.noc.total_bandwidth_gbps * noc_scale),
+    )
+    topo = TopologySpec(architecture=arch, replication=rep, mdr_epoch=2000)
+    system = build_system(gpu, topo)
+    result = system.run_workload(get_benchmark(bench).instantiate(gpu))
+    noc_power = result.energy.noc / max(1, result.cycles)
+    return result.cycles, noc_power
+
+
+def main() -> None:
+    rows = []
+    baselines = {}
+    for bench in WORKLOADS:
+        baselines[bench], _ = run_point(
+            Architecture.MEM_SIDE_UBA, ReplicationPolicy.NONE, 1.0, bench
+        )
+    for arch, rep, label in [
+        (Architecture.MEM_SIDE_UBA, ReplicationPolicy.NONE, "UBA"),
+        (Architecture.NUBA, ReplicationPolicy.MDR, "NUBA"),
+    ]:
+        for scale in SWEEP:
+            for bench in WORKLOADS:
+                cycles, noc_power = run_point(arch, rep, scale, bench)
+                rows.append([
+                    label,
+                    f"{scale:g}x NoC",
+                    bench,
+                    f"{baselines[bench] / cycles:.3f}x",
+                    f"{noc_power:.3f}",
+                ])
+    print(format_table(
+        ["arch", "NoC bandwidth", "bench", "perf vs iso-UBA", "NoC power"],
+        rows,
+    ))
+    print()
+    print("Shape to look for: UBA loses performance as the NoC narrows;")
+    print("NUBA barely cares and its NoC power is a fraction of UBA's.")
+
+
+if __name__ == "__main__":
+    main()

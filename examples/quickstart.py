@@ -1,0 +1,60 @@
+"""Quickstart: simulate one benchmark on UBA and NUBA GPUs.
+
+Builds the scaled GPU (proportional to the paper's Table 1 machine),
+runs the KMEANS workload on the conventional memory-side UBA baseline
+and on a NUBA GPU with LAB page allocation + MDR replication, and prints
+the headline comparison.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    Architecture,
+    ReplicationPolicy,
+    TopologySpec,
+    build_system,
+    get_benchmark,
+    small_config,
+)
+
+
+def main() -> None:
+    gpu = small_config()
+    print(f"GPU: {gpu.describe()}")
+    benchmark = get_benchmark("KMEANS")
+    print(f"Workload: {benchmark.name} ({benchmark.sharing}-sharing, "
+          f"{benchmark.total_pages} pages)")
+    print()
+
+    results = {}
+    for label, arch, rep in [
+        ("memory-side UBA", Architecture.MEM_SIDE_UBA,
+         ReplicationPolicy.NONE),
+        ("NUBA (LAB + MDR)", Architecture.NUBA, ReplicationPolicy.MDR),
+    ]:
+        topo = TopologySpec(architecture=arch, replication=rep,
+                            mdr_epoch=2000)
+        system = build_system(gpu, topo)
+        workload = benchmark.instantiate(gpu)
+        results[label] = system.run_workload(workload)
+        result = results[label]
+        print(f"{label}:")
+        print(f"  cycles                  {result.cycles}")
+        print(f"  perceived bandwidth     "
+              f"{result.replies_per_cycle:.3f} replies/cycle")
+        print(f"  local L1 misses         {result.local_fraction * 100:.1f}%")
+        print(f"  LLC hit rate            {result.llc_hit_rate * 100:.1f}%")
+        print(f"  NoC energy (norm.)      {result.energy.noc:.1f}")
+        print()
+
+    uba = results["memory-side UBA"]
+    nuba = results["NUBA (LAB + MDR)"]
+    print(f"NUBA speedup over UBA: {nuba.speedup_over(uba):.3f}x")
+    print(f"NoC energy saving:     "
+          f"{(1 - nuba.energy.noc / uba.energy.noc) * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro -- a reproduction of "NUBA: Non-Uniform Bandwidth GPUs" (ASPLOS'23).
+
+Public API quick tour::
+
+    from repro import (
+        baseline_config, small_config, TopologySpec, Architecture,
+        build_system, get_benchmark,
+    )
+
+    gpu = small_config()
+    topo = TopologySpec(architecture=Architecture.NUBA)
+    system = build_system(gpu, topo)
+    workload = get_benchmark("KMEANS").instantiate(gpu)
+    result = system.run_workload(workload)
+    print(result.cycles, result.local_fraction)
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-versus-measured record of every figure and table.
+"""
+
+from repro.config import (
+    Architecture,
+    GPUConfig,
+    TopologySpec,
+    baseline_config,
+    mcm_config,
+    scaled_config,
+    small_config,
+)
+from repro.config.topology import (
+    AddressMapKind,
+    MCMSpec,
+    PagePolicy,
+    PartitionSpec,
+    ReplicationPolicy,
+)
+from repro.core import (
+    BandwidthModel,
+    GPUSystem,
+    MDRController,
+    ModelInputs,
+    RunResult,
+    build_mcm_system,
+    build_system,
+)
+from repro.workloads import BENCHMARKS, Benchmark, get_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressMapKind",
+    "Architecture",
+    "BENCHMARKS",
+    "BandwidthModel",
+    "Benchmark",
+    "GPUConfig",
+    "GPUSystem",
+    "MCMSpec",
+    "MDRController",
+    "ModelInputs",
+    "PagePolicy",
+    "PartitionSpec",
+    "ReplicationPolicy",
+    "RunResult",
+    "TopologySpec",
+    "baseline_config",
+    "build_mcm_system",
+    "build_system",
+    "get_benchmark",
+    "mcm_config",
+    "scaled_config",
+    "small_config",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Analysis and reporting utilities."""
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart, sparkline
+from repro.analysis.sharing import SHARING_BUCKETS, sharing_profile
+from repro.analysis.timeline import TimelineRecorder
+from repro.analysis.report import (
+    format_table,
+    geometric_mean,
+    improvement_summary,
+    speedup_table,
+)
+
+__all__ = [
+    "SHARING_BUCKETS",
+    "TimelineRecorder",
+    "bar_chart",
+    "grouped_bar_chart",
+    "sparkline",
+    "format_table",
+    "geometric_mean",
+    "improvement_summary",
+    "sharing_profile",
+    "speedup_table",
+]

@@ -1,0 +1,115 @@
+"""Terminal bar charts.
+
+The paper's evaluation figures are bar charts; this module renders the
+same series as unicode horizontal bars so ``python -m repro figure fig7``
+reads like the figure, not just a numbers table. No plotting libraries
+required (the environment is offline).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+#: Fractional block characters for sub-cell resolution.
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """Render ``value`` as a bar of at most ``width`` cells."""
+    if scale <= 0:
+        return ""
+    cells = max(0.0, value / scale * width)
+    full = int(cells)
+    remainder = cells - full
+    partial = _BLOCKS[round(remainder * (len(_BLOCKS) - 1))]
+    bar = "█" * min(full, width)
+    if full < width and partial != " ":
+        bar += partial
+    return bar
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    reference: Optional[float] = None,
+    unit: str = "",
+) -> str:
+    """A labelled horizontal bar chart.
+
+    ``reference`` draws a marker column (e.g. the 1.0x baseline) so bars
+    can be read as above/below the baseline at a glance.
+    """
+    if not values:
+        raise ValueError("no values to chart")
+    label_width = max(len(label) for label in values)
+    peak = max(list(values.values()) + ([reference] if reference else []))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    marker_cell = None
+    if reference is not None and peak > 0:
+        marker_cell = int(reference / peak * width)
+    for label, value in values.items():
+        bar = _bar(value, peak, width)
+        if marker_cell is not None and 0 <= marker_cell <= width:
+            padded = bar.ljust(width)
+            row = (
+                padded[:marker_cell]
+                + ("|" if marker_cell >= len(bar) else padded[marker_cell])
+                + padded[marker_cell + 1:]
+            )
+        else:
+            row = bar
+        lines.append(
+            f"{label.rjust(label_width)} {row.rstrip()}  "
+            f"{value:.3f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 40,
+    reference: Optional[float] = None,
+    unit: str = "",
+) -> str:
+    """Bar chart with one sub-bar per series inside each group.
+
+    ``groups[bench][series] = value`` -- the layout of Figures 7/8/12.
+    """
+    if not groups:
+        raise ValueError("no groups to chart")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    all_values = [
+        value for series in groups.values() for value in series.values()
+    ]
+    peak = max(all_values + ([reference] if reference else []))
+    series_width = max(
+        len(name) for series in groups.values() for name in series
+    )
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for name, value in series.items():
+            bar = _bar(value, peak, width)
+            lines.append(
+                f"  {name.rjust(series_width)} {bar}  {value:.3f}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line trend (for timeline samples)."""
+    if not values:
+        return ""
+    peak = max(values)
+    if peak <= 0:
+        return " " * len(values)
+    ramp = "▁▂▃▄▅▆▇█"
+    return "".join(
+        ramp[min(len(ramp) - 1, int(v / peak * (len(ramp) - 1)))]
+        for v in values
+    )

@@ -1,0 +1,96 @@
+"""Page-sharing-degree analysis (Figure 3).
+
+The paper buckets memory pages by how many SMs access them: 1 SM
+(unshared), 2-10 SMs, 11-25 SMs, and 26-64 SMs on the 64-SM baseline.
+On scaled GPUs the buckets are defined as the equivalent *fractions* of
+the SM count so the classification is size-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.sim.stats import Histogram
+
+#: Paper bucket boundaries as fractions of the SM count. On 64 SMs these
+#: reproduce the Figure 3 buckets exactly: 1 / 2-10 / 11-25 / 26-64.
+BUCKET_FRACTIONS = (
+    ("1 SM", 1 / 64, 1 / 64),
+    ("2-10 SMs", 2 / 64, 10 / 64),
+    ("11-25 SMs", 11 / 64, 25 / 64),
+    ("26-64 SMs", 26 / 64, 1.0),
+)
+
+SHARING_BUCKETS = [name for name, _, _ in BUCKET_FRACTIONS]
+
+
+@dataclass
+class SharingProfile:
+    """Fraction of pages in each sharing-degree bucket for one run."""
+
+    benchmark: str
+    num_sms: int
+    fractions: Dict[str, float]
+    total_pages: int
+
+    @property
+    def unshared_fraction(self) -> float:
+        return self.fractions["1 SM"]
+
+    @property
+    def shared_fraction(self) -> float:
+        return 1.0 - self.unshared_fraction
+
+    def classify(self, low_threshold: float = 0.85) -> str:
+        """'low' when the overwhelming majority of pages are single-SM.
+
+        Section 2: "for low-sharing applications, more than 80% of the
+        memory pages are accessed by a single SM"; high-sharing ones have
+        "a reasonably large fraction of shared pages". The 85% default
+        separates the two groups on the scaled suite (2MM-style
+        benchmarks share few pages, but by many SMs).
+        """
+        return "low" if self.unshared_fraction > low_threshold else "high"
+
+    def row(self) -> List[str]:
+        """The benchmark's Figure 3 table row (percent per bucket)."""
+        return [self.benchmark] + [
+            f"{self.fractions[name] * 100:.1f}%" for name in SHARING_BUCKETS
+        ]
+
+
+def bucket_bounds(num_sms: int):
+    """Integer bucket boundaries that tile [1, num_sms] exactly.
+
+    On 64 SMs this yields the paper's 1 / 2-10 / 11-25 / 26-64 buckets;
+    on scaled GPUs the boundaries shrink proportionally while the
+    buckets stay disjoint and exhaustive.
+    """
+    b1 = max(2, round(10 / 64 * num_sms))
+    b2 = max(b1 + 1, round(25 / 64 * num_sms))
+    bounds = [
+        (SHARING_BUCKETS[0], 1, 1),
+        (SHARING_BUCKETS[1], 2, b1),
+        (SHARING_BUCKETS[2], b1 + 1, b2),
+        (SHARING_BUCKETS[3], b2 + 1, max(b2 + 1, num_sms)),
+    ]
+    return bounds
+
+
+def sharing_profile(
+    benchmark: str, histogram: Histogram, num_sms: int
+) -> SharingProfile:
+    """Bucket a page-sharing histogram into the Figure 3 categories."""
+    fractions = {}
+    for name, low, high in bucket_bounds(num_sms):
+        fractions[name] = sum(
+            histogram.fraction(k) for k in histogram.keys()
+            if low <= k <= high
+        )
+    return SharingProfile(
+        benchmark=benchmark,
+        num_sms=num_sms,
+        fractions=fractions,
+        total_pages=histogram.total,
+    )

@@ -1,0 +1,139 @@
+"""Time-series instrumentation for a running system.
+
+A :class:`TimelineRecorder` samples a :class:`~repro.core.system.GPUSystem`
+at a fixed cycle interval and records the deltas of the headline
+counters: replies delivered, local/remote mix, NoC bytes moved, DRAM
+lines transferred and the current MDR decision. This is how the MDR
+epoch dynamics (Section 5.1) and phase behaviour of workloads can be
+inspected, e.g. in notebooks or the CSV export.
+
+Usage::
+
+    system = build_system(gpu, topo)
+    timeline = TimelineRecorder.attach(system, interval=500)
+    system.run_workload(workload)
+    print(timeline.to_csv())
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """Counter deltas over one sampling interval."""
+
+    cycle: int
+    replies: int
+    local: int
+    remote: int
+    noc_bytes: int
+    dram_lines: int
+    llc_hits: int
+    llc_accesses: int
+    mdr_replicating: bool
+
+    @property
+    def replies_per_cycle(self) -> float:
+        return self.replies
+
+    @property
+    def local_fraction(self) -> float:
+        total = self.local + self.remote
+        if total == 0:
+            return 0.0
+        return self.local / total
+
+    @property
+    def llc_hit_rate(self) -> float:
+        if self.llc_accesses == 0:
+            return 0.0
+        return self.llc_hits / self.llc_accesses
+
+
+class TimelineRecorder:
+    """Samples a system's counters every ``interval`` cycles."""
+
+    FIELDS = (
+        "cycle", "replies", "local", "remote", "noc_bytes",
+        "dram_lines", "llc_hits", "llc_accesses", "mdr_replicating",
+    )
+
+    def __init__(self, system, interval: int = 1000) -> None:
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.system = system
+        self.interval = interval
+        self.samples: List[TimelineSample] = []
+        self._last = self._snapshot()
+
+    @classmethod
+    def attach(cls, system, interval: int = 1000) -> "TimelineRecorder":
+        """Create a recorder and hook it into the system's clock."""
+        recorder = cls(system, interval)
+        system.sim.every(interval, recorder.on_sample)
+        return recorder
+
+    def _snapshot(self) -> dict:
+        system = self.system
+        return {
+            "replies": system.tracker.completed_loads,
+            "local": system.tracker.local,
+            "remote": system.tracker.remote,
+            "noc_bytes": system._noc_bytes(),
+            "dram_lines": sum(mc.lines_transferred for mc in system.mcs),
+            "llc_hits": sum(s.hits for s in system.slices),
+            "llc_accesses": sum(s.accesses for s in system.slices),
+        }
+
+    def on_sample(self, cycle: int) -> None:
+        """Record one interval's counter deltas (clock hook)."""
+        current = self._snapshot()
+        delta = {
+            key: current[key] - self._last[key] for key in current
+        }
+        self._last = current
+        self.samples.append(TimelineSample(
+            cycle=cycle,
+            mdr_replicating=self.system.mdr.replicate,
+            **delta,
+        ))
+
+    # ------------------------------------------------------------------
+    # Queries and export.
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def peak_bandwidth(self) -> float:
+        """Highest replies-per-interval observed (burst bandwidth)."""
+        if not self.samples:
+            return 0.0
+        return max(s.replies / self.interval for s in self.samples)
+
+    def replication_windows(self) -> List[tuple]:
+        """Contiguous (start_cycle, end_cycle) spans with MDR on."""
+        windows = []
+        start = None
+        for sample in self.samples:
+            if sample.mdr_replicating and start is None:
+                start = sample.cycle - self.interval
+            elif not sample.mdr_replicating and start is not None:
+                windows.append((start, sample.cycle - self.interval))
+                start = None
+        if start is not None:
+            windows.append((start, self.samples[-1].cycle))
+        return windows
+
+    def to_csv(self) -> str:
+        """Render the timeline as CSV text."""
+        buffer = io.StringIO()
+        buffer.write(",".join(self.FIELDS) + "\n")
+        for sample in self.samples:
+            row = [str(getattr(sample, field)) for field in self.FIELDS]
+            buffer.write(",".join(row) + "\n")
+        return buffer.getvalue()

@@ -1,0 +1,16 @@
+"""Cache models: SRAM arrays, MSHRs, the L1 data cache and LLC slices."""
+
+from repro.cache.sram import CacheArray, EvictedLine
+from repro.cache.mshr import MSHRFile
+from repro.cache.l1 import L1Cache
+from repro.cache.llc_slice import LLCSlice
+from repro.cache.sampling import SetSampler
+
+__all__ = [
+    "CacheArray",
+    "EvictedLine",
+    "L1Cache",
+    "LLCSlice",
+    "MSHRFile",
+    "SetSampler",
+]

@@ -1,0 +1,247 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    python -m repro list                     # catalogue of benchmarks
+    python -m repro run --bench KMEANS --arch nuba [--replication mdr]
+    python -m repro compare --bench KMEANS   # UBA vs NUBA side by side
+    python -m repro figure fig7 [--subset KMEANS AN ...]
+
+The CLI drives the same public API the examples use; it exists so the
+headline experiments are reproducible without writing any Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_table
+from repro.config.presets import small_config
+from repro.config.topology import (
+    Architecture,
+    PagePolicy,
+    ReplicationPolicy,
+    TopologySpec,
+)
+from repro.core.builders import build_system
+from repro.experiments import figures
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.suite import BENCHMARKS, get_benchmark
+
+#: Figure name -> harness function.
+FIGURES = {
+    "table2": lambda runner, subset: figures.table2_catalogue(),
+    "fig3": figures.fig3_sharing,
+    "fig7": figures.fig7_performance,
+    "fig8": figures.fig8_bandwidth,
+    "fig9": figures.fig9_miss_breakdown,
+    "fig10": figures.fig10_noc_power,
+    "fig11": figures.fig11_page_allocation,
+    "fig12": figures.fig12_replication,
+    "fig13": figures.fig13_energy,
+    "fig14": figures.fig14_sensitivity,
+    "fig16": figures.fig16_mcm,
+    "sec76": figures.sec76_alternatives,
+}
+
+
+def _architecture(name: str) -> Architecture:
+    aliases = {
+        "uba": Architecture.MEM_SIDE_UBA,
+        "mem-side-uba": Architecture.MEM_SIDE_UBA,
+        "sm-side-uba": Architecture.SM_SIDE_UBA,
+        "nuba": Architecture.NUBA,
+    }
+    try:
+        return aliases[name.lower()]
+    except KeyError:
+        raise argparse.ArgumentTypeError(
+            f"unknown architecture {name!r}; choose from {sorted(aliases)}"
+        )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NUBA (ASPLOS'23) reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the Table 2 benchmark catalogue")
+
+    run = sub.add_parser("run", help="simulate one benchmark")
+    run.add_argument("--bench", required=True, help="benchmark abbreviation")
+    run.add_argument("--arch", type=_architecture, default=Architecture.NUBA)
+    run.add_argument(
+        "--replication",
+        choices=[p.value for p in ReplicationPolicy],
+        default=ReplicationPolicy.MDR.value,
+    )
+    run.add_argument(
+        "--page-policy",
+        choices=[p.value for p in PagePolicy],
+        default=PagePolicy.LAB.value,
+    )
+    run.add_argument("--noc-gbps", type=float, default=None,
+                     help="override NoC bandwidth (GB/s)")
+
+    compare = sub.add_parser(
+        "compare", help="run a benchmark on UBA and NUBA and compare"
+    )
+    compare.add_argument("--bench", required=True)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("name", choices=sorted(FIGURES))
+    figure.add_argument("--subset", nargs="*", default=None,
+                        help="benchmark abbreviations (default: a "
+                             "representative subset)")
+    figure.add_argument("--full", action="store_true",
+                        help="use all 29 benchmarks")
+    figure.add_argument("--channels", type=int, default=None,
+                        help="simulate a smaller GPU (memory channels)")
+
+    report = sub.add_parser(
+        "report",
+        help="regenerate every figure into one markdown report",
+    )
+    report.add_argument("--out", default=None,
+                        help="write the report to a file (default stdout)")
+    report.add_argument("--subset", nargs="*", default=None)
+    report.add_argument("--channels", type=int, default=None)
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = [
+        [bench.abbr, bench.name, bench.sharing,
+         f"{bench.footprint_mb:g} MB", f"{bench.ro_shared_mb:g} MB"]
+        for bench in BENCHMARKS.values()
+    ]
+    print(format_table(
+        ["abbr", "name", "sharing", "paper footprint", "paper RO-shared"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    gpu = small_config()
+    if args.noc_gbps is not None:
+        from dataclasses import replace
+        gpu = replace(gpu, noc=gpu.noc.with_bandwidth(args.noc_gbps))
+    topo = TopologySpec(
+        architecture=args.arch,
+        replication=ReplicationPolicy(args.replication),
+        page_policy=PagePolicy(args.page_policy),
+        mdr_epoch=2000,
+    )
+    system = build_system(gpu, topo)
+    workload = get_benchmark(args.bench).instantiate(gpu)
+    result = system.run_workload(workload)
+    print(format_table(["metric", "value"], [
+        ["architecture", result.architecture],
+        ["cycles", result.cycles],
+        ["instructions", result.instructions],
+        ["IPC", f"{result.ipc:.3f}"],
+        ["replies/cycle", f"{result.replies_per_cycle:.3f}"],
+        ["local L1 misses", f"{result.local_fraction * 100:.1f}%"],
+        ["LLC hit rate", f"{result.llc_hit_rate * 100:.1f}%"],
+        ["DRAM lines", result.dram_lines],
+        ["NoC bytes", result.noc_bytes],
+        ["NoC energy share", f"{result.energy.noc_fraction * 100:.1f}%"],
+    ]))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    gpu = small_config()
+    rows = []
+    results = {}
+    for label, arch, rep in [
+        ("mem-side UBA", Architecture.MEM_SIDE_UBA, ReplicationPolicy.NONE),
+        ("NUBA (LAB+MDR)", Architecture.NUBA, ReplicationPolicy.MDR),
+    ]:
+        topo = TopologySpec(architecture=arch, replication=rep,
+                            mdr_epoch=2000)
+        system = build_system(gpu, topo)
+        workload = get_benchmark(args.bench).instantiate(gpu)
+        results[label] = system.run_workload(workload)
+        result = results[label]
+        rows.append([
+            label, result.cycles,
+            f"{result.replies_per_cycle:.3f}",
+            f"{result.local_fraction * 100:.0f}%",
+            f"{result.energy.noc:.0f}",
+        ])
+    print(format_table(
+        ["config", "cycles", "replies/cycle", "local", "NoC energy"],
+        rows,
+    ))
+    speedup = results["NUBA (LAB+MDR)"].speedup_over(
+        results["mem-side UBA"]
+    )
+    print(f"\nNUBA speedup: {speedup:.3f}x")
+    return 0
+
+
+DEFAULT_SUBSET = ["KMEANS", "DWT2D", "LBM", "AN", "2MM", "BT", "SC"]
+
+
+def _make_runner(channels: Optional[int]) -> ExperimentRunner:
+    if channels is None:
+        return ExperimentRunner()
+    return ExperimentRunner(base_gpu=small_config(num_channels=channels))
+
+
+def _cmd_figure(args) -> int:
+    runner = _make_runner(args.channels)
+    subset: Optional[List[str]]
+    if args.full:
+        subset = None
+    elif args.subset:
+        subset = args.subset
+    else:
+        subset = DEFAULT_SUBSET
+    result = FIGURES[args.name](runner, subset)
+    print(result.render())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    runner = _make_runner(args.channels)
+    subset = args.subset or DEFAULT_SUBSET
+    sections = []
+    for name in ("table2", "fig3", "fig7", "fig8", "fig9", "fig11",
+                 "fig12", "fig13"):
+        result = FIGURES[name](runner, subset)
+        sections.append(result.render())
+    text = "\n\n".join(sections) + "\n"
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.out} ({runner.simulations_run} simulations)")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

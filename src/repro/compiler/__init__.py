@@ -1,0 +1,22 @@
+"""Compiler support for MDR: mini-PTX IR, data-flow analysis and passes.
+
+The paper identifies read-only shared data with data-flow analysis at the
+PTX intermediate level (Section 5.2): a data structure never stored to
+within a kernel is read-only, and loads from it are rewritten from
+``ld.global`` to ``ld.global.ro``. We implement the same analysis on a
+small PTX-like IR.
+"""
+
+from repro.compiler.ptx import Instruction, Kernel, parse_kernel
+from repro.compiler.dataflow import PointerProvenance, analyze_kernel
+from repro.compiler.passes import ReadOnlyAnnotation, mark_read_only
+
+__all__ = [
+    "Instruction",
+    "Kernel",
+    "PointerProvenance",
+    "ReadOnlyAnnotation",
+    "analyze_kernel",
+    "mark_read_only",
+    "parse_kernel",
+]

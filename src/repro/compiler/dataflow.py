@@ -1,0 +1,125 @@
+"""Pointer-provenance data-flow analysis (Section 5.2).
+
+The goal is to decide, per kernel, which pointer parameters (data
+structures) are *read-only*: loaded from but never stored to within the
+kernel. The analysis tracks, for every register, the set of kernel
+parameters its value may be derived from ("provenance"). It is
+flow-insensitive (one fixed point over the whole instruction list), which
+is sound: provenance sets only grow.
+
+Conservative rules keep the analysis safe:
+
+* a register loaded from memory (``ld.global``) gets the special ``TOP``
+  provenance -- it may alias any parameter (pointer-chasing);
+* a store or atomic through a ``TOP`` register marks *every* parameter
+  written;
+* unknown opcodes propagate the union of their sources' provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set
+
+from repro.compiler.ptx import Instruction, Kernel
+
+#: Sentinel provenance: "could point anywhere".
+TOP = "<any>"
+
+
+@dataclass
+class PointerProvenance:
+    """Result of the analysis for one kernel."""
+
+    kernel: str
+    #: Parameters the kernel may store to (including via aliasing).
+    written: Set[str] = field(default_factory=set)
+    #: Parameters the kernel loads from.
+    read: Set[str] = field(default_factory=set)
+    #: Final register -> provenance map (for tests/debugging).
+    registers: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+
+    @property
+    def read_only(self) -> Set[str]:
+        """Data structures that are read but never written (Section 5.2)."""
+        return self.read - self.written
+
+
+def analyze_kernel(kernel: Kernel) -> PointerProvenance:
+    """Compute parameter read/write sets for one kernel."""
+    provenance: Dict[str, Set[str]] = {}
+    result = PointerProvenance(kernel=kernel.name)
+    params = set(kernel.params)
+
+    def prov_of(reg: str) -> Set[str]:
+        return provenance.get(reg, set())
+
+    def widen(targets: Set[str]) -> Set[str]:
+        """Expand TOP into all parameters."""
+        if TOP in targets:
+            return set(params)
+        return targets & params
+
+    changed = True
+    while changed:
+        changed = False
+        for instr in kernel.instructions:
+            new_prov = _transfer(instr, prov_of, params)
+            if new_prov is None:
+                continue
+            reg, values = new_prov
+            current = provenance.setdefault(reg, set())
+            if not values <= current:
+                current |= values
+                changed = True
+
+    # With provenance stable, collect reads and writes.
+    for instr in kernel.instructions:
+        base = instr.mem_base_register
+        if instr.is_global_load and base is not None:
+            result.read |= widen(prov_of(base))
+        elif (instr.is_global_store or instr.is_global_atomic) and base is not None:
+            result.written |= widen(prov_of(base))
+
+    result.registers = {
+        reg: frozenset(values) for reg, values in provenance.items()
+    }
+    return result
+
+
+def _transfer(instr, prov_of, params):
+    """Provenance transfer function for one instruction.
+
+    Returns ``(dst_register, provenance_set)`` or ``None`` when the
+    instruction defines no register.
+    """
+    if instr.dst is None:
+        return None
+    if instr.is_param_load:
+        param = instr.mem_param_name
+        if param in params:
+            return instr.dst, {param}
+        return instr.dst, set()
+    if instr.is_global_load:
+        # Loaded values may be pointers to anything (pointer chasing).
+        return instr.dst, {TOP}
+    # Register-to-register (mov, cvta, add, mad, unknown opcodes):
+    # union of source provenance, plus the address register for loads
+    # from non-global spaces (e.g. ld.shared leaves provenance empty).
+    combined: set = set()
+    for src in instr.srcs:
+        combined |= prov_of(src)
+    base = instr.mem_base_register
+    if base is not None:
+        combined |= prov_of(base)
+    return instr.dst, combined
+
+
+def analyze_module(kernels: List[Kernel]) -> Dict[str, PointerProvenance]:
+    """Analyze every kernel of a module independently.
+
+    Read-only is a *per-kernel* property: a structure that is read-only in
+    one kernel can be read-write in the next (Section 5.2), which is why
+    the LLC is flushed at kernel boundaries when replication is enabled.
+    """
+    return {kernel.name: analyze_kernel(kernel) for kernel in kernels}

@@ -1,0 +1,201 @@
+"""A mini-PTX intermediate representation and parser.
+
+This models the subset of PTX [62] that the read-only data-flow analysis
+needs: kernel entry points with ``.param`` pointer declarations, parameter
+loads, address arithmetic, generic-to-global conversions, global loads and
+stores, atomics and control flow. The parser is deliberately tolerant --
+unknown opcodes become opaque register-to-register instructions, which the
+analysis treats conservatively.
+
+Example::
+
+    .visible .entry saxpy(
+        .param .u64 x,
+        .param .u64 y,
+        .param .f32 a
+    )
+    {
+        ld.param.u64 %rd1, [x];
+        ld.param.u64 %rd2, [y];
+        cvta.to.global.u64 %rd3, %rd1;
+        cvta.to.global.u64 %rd4, %rd2;
+        ld.global.f32 %f1, [%rd3];
+        ld.global.f32 %f2, [%rd4];
+        fma.rn.f32 %f3, %f1, %f0, %f2;
+        st.global.f32 [%rd4], %f3;
+        ret;
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+_REGISTER = re.compile(r"%[a-zA-Z_][a-zA-Z0-9_]*")
+_MEM_OPERAND = re.compile(r"\[\s*([^\]]+?)\s*\]")
+_ENTRY = re.compile(r"\.entry\s+([A-Za-z_][A-Za-z0-9_]*)")
+_PARAM = re.compile(r"\.param\s+\.\w+\s+([A-Za-z_][A-Za-z0-9_]*)")
+_LABEL = re.compile(r"^([A-Za-z_$][A-Za-z0-9_$]*):$")
+
+
+@dataclass
+class Instruction:
+    """One parsed PTX instruction."""
+
+    opcode: str
+    #: Destination register (None for stores/branches).
+    dst: Optional[str]
+    #: Source registers (excluding the memory address register).
+    srcs: Tuple[str, ...]
+    #: Base expression inside a ``[...]`` memory operand, if any.
+    mem_base: Optional[str] = None
+    #: Label for branches, or the raw text for opaque instructions.
+    label: Optional[str] = None
+    raw: str = ""
+
+    @property
+    def is_global_load(self) -> bool:
+        return self.opcode.startswith("ld.global")
+
+    @property
+    def is_read_only_load(self) -> bool:
+        return self.opcode.startswith("ld.global.ro")
+
+    @property
+    def is_global_store(self) -> bool:
+        return self.opcode.startswith("st.global")
+
+    @property
+    def is_global_atomic(self) -> bool:
+        return self.opcode.startswith(("atom.global", "red.global"))
+
+    @property
+    def is_param_load(self) -> bool:
+        return self.opcode.startswith("ld.param")
+
+    @property
+    def mem_base_register(self) -> Optional[str]:
+        """The register used as the memory-address base, if any."""
+        if self.mem_base is None:
+            return None
+        match = _REGISTER.search(self.mem_base)
+        return match.group(0) if match else None
+
+    @property
+    def mem_param_name(self) -> Optional[str]:
+        """For ``ld.param``: the parameter name inside the brackets."""
+        if self.mem_base is None or self.mem_base.startswith("%"):
+            return None
+        return self.mem_base.split("+")[0].strip()
+
+
+@dataclass
+class Kernel:
+    """A parsed kernel: name, pointer parameters and instruction list."""
+
+    name: str
+    params: List[str]
+    instructions: List[Instruction]
+    labels: dict = field(default_factory=dict)
+
+    def global_loads(self) -> List[Instruction]:
+        """All global-memory load instructions."""
+        return [i for i in self.instructions if i.is_global_load]
+
+    def global_stores(self) -> List[Instruction]:
+        """All global-memory store instructions."""
+        return [i for i in self.instructions if i.is_global_store]
+
+    def render(self) -> str:
+        """Render back to PTX-like text (after pass rewriting)."""
+        lines = [f".visible .entry {self.name}("]
+        lines.extend(
+            f"    .param .u64 {p}" + ("," if i < len(self.params) - 1 else "")
+            for i, p in enumerate(self.params)
+        )
+        lines.append(")")
+        lines.append("{")
+        label_at = {index: name for name, index in self.labels.items()}
+        for index, instr in enumerate(self.instructions):
+            if index in label_at:
+                lines.append(f"{label_at[index]}:")
+            lines.append(f"    {instr.raw};")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def _parse_instruction(text: str) -> Instruction:
+    text = text.strip()
+    parts = text.split(None, 1)
+    opcode = parts[0]
+    operand_text = parts[1] if len(parts) > 1 else ""
+
+    mem_match = _MEM_OPERAND.search(operand_text)
+    mem_base = mem_match.group(1) if mem_match else None
+    without_mem = _MEM_OPERAND.sub(" ", operand_text)
+    registers = _REGISTER.findall(without_mem)
+
+    dst: Optional[str] = None
+    srcs: Tuple[str, ...] = ()
+    label: Optional[str] = None
+
+    if opcode.startswith(("st.", "red.")):
+        # Stores: all registers are sources (value operands).
+        srcs = tuple(registers)
+    elif opcode.startswith(("bra", "ret", "bar", "exit")):
+        stripped = operand_text.strip().rstrip(";").strip()
+        label = stripped or None
+    else:
+        if registers:
+            dst = registers[0]
+            srcs = tuple(registers[1:])
+    return Instruction(
+        opcode=opcode,
+        dst=dst,
+        srcs=srcs,
+        mem_base=mem_base,
+        label=label,
+        raw=text,
+    )
+
+
+def parse_kernel(text: str) -> Kernel:
+    """Parse one kernel's PTX-like text into a :class:`Kernel`."""
+    entry = _ENTRY.search(text)
+    if entry is None:
+        raise ValueError("no .entry directive found")
+    name = entry.group(1)
+    header, _, body = text.partition("{")
+    if not body:
+        raise ValueError("kernel has no body")
+    body = body.rsplit("}", 1)[0]
+    params = _PARAM.findall(header)
+
+    instructions: List[Instruction] = []
+    labels = {}
+    for line in body.splitlines():
+        line = line.split("//", 1)[0].strip()
+        if not line:
+            continue
+        label_match = _LABEL.match(line)
+        if label_match:
+            labels[label_match.group(1)] = len(instructions)
+            continue
+        for statement in line.split(";"):
+            statement = statement.strip()
+            if statement:
+                instructions.append(_parse_instruction(statement))
+    return Kernel(name=name, params=params, instructions=instructions,
+                  labels=labels)
+
+
+def parse_module(text: str) -> List[Kernel]:
+    """Parse a module containing several kernels."""
+    kernels = []
+    chunks = re.split(r"(?=\.visible\s+\.entry)", text)
+    for chunk in chunks:
+        if ".entry" in chunk:
+            kernels.append(parse_kernel(chunk))
+    return kernels

@@ -1,0 +1,35 @@
+"""GPU configuration: Table 1 parameters, topologies and presets."""
+
+from repro.config.gpu import (
+    CacheConfig,
+    GPUConfig,
+    HBMTimingConfig,
+    MemoryConfig,
+    NoCConfig,
+    SMConfig,
+    TLBConfig,
+)
+from repro.config.topology import Architecture, PartitionSpec, TopologySpec
+from repro.config.presets import (
+    baseline_config,
+    mcm_config,
+    scaled_config,
+    small_config,
+)
+
+__all__ = [
+    "Architecture",
+    "CacheConfig",
+    "GPUConfig",
+    "HBMTimingConfig",
+    "MemoryConfig",
+    "NoCConfig",
+    "PartitionSpec",
+    "SMConfig",
+    "TLBConfig",
+    "TopologySpec",
+    "baseline_config",
+    "mcm_config",
+    "scaled_config",
+    "small_config",
+]

@@ -1,0 +1,139 @@
+"""Named configurations.
+
+``baseline_config`` reproduces Table 1 exactly. Because a pure-Python
+cycle model cannot run billion-instruction simulations, the experiment
+harness defaults to ``small_config`` -- a proportionally scaled system that
+keeps every per-resource bandwidth ratio of the baseline (NoC port width,
+local-link width, per-channel memory bandwidth, LLC slice rate) so the
+architectural trade-offs are preserved while simulating fewer endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config.gpu import (
+    CacheConfig,
+    GPUConfig,
+    LocalLinkConfig,
+    MemoryConfig,
+    NoCConfig,
+    SMConfig,
+    TLBConfig,
+)
+
+
+def baseline_config() -> GPUConfig:
+    """The Table 1 GPU: 64 SMs, 64 LLC slices, 32 channels, 1.4 TB/s NoC."""
+    return GPUConfig()
+
+
+def small_config(
+    num_channels: int = 8,
+    warps_per_sm: int = 8,
+    llc_sets: int = 16,
+) -> GPUConfig:
+    """A proportionally scaled GPU for fast simulation.
+
+    Keeps the 2:2:1 SM:LLC:channel ratio and scales aggregate bandwidths
+    with the channel count so per-partition and per-port bandwidths match
+    the baseline. The LLC slice is shallower (fewer sets) so that scaled
+    workload footprints exercise capacity effects.
+    """
+    base = baseline_config()
+    scale = num_channels / base.num_channels
+    memory = replace(
+        base.memory,
+        stacks=1,
+        channels_per_stack=num_channels,
+        queue_entries=32,
+        total_bandwidth_gbps=base.memory.total_bandwidth_gbps * scale,
+    )
+    noc = replace(
+        base.noc,
+        ports=num_channels * 2,
+        total_bandwidth_gbps=base.noc.total_bandwidth_gbps * scale,
+    )
+    local = LocalLinkConfig(
+        total_bandwidth_gbps=base.local_link.total_bandwidth_gbps * scale
+    )
+    return GPUConfig(
+        num_sms=num_channels * 2,
+        num_llc_slices=num_channels * 2,
+        sm=SMConfig(warps_per_sm=warps_per_sm),
+        l1=replace(base.l1, sets=16, mshr_entries=32),
+        llc_slice=replace(base.llc_slice, sets=llc_sets, latency=24),
+        # Scaled-down translation costs: runs are thousands (not billions)
+        # of cycles, so the 20 us page-fault penalty is scaled with them.
+        tlb=TLBConfig(walk_latency=40, page_fault_cycles=300),
+        memory=memory,
+        noc=noc,
+        local_link=local,
+    )
+
+
+def scaled_config(factor: float, base: GPUConfig = None) -> GPUConfig:
+    """Scale a GPU by 0.5x/1x/2x keeping the 2:2:1 ratio (Section 7.5).
+
+    Compute, LLC slice count and memory bandwidth scale proportionally
+    while LLC slice capacity stays constant, so total LLC capacity scales
+    with the factor -- exactly the paper's "GPU size" sensitivity axis.
+    """
+    if base is None:
+        base = baseline_config()
+    channels = int(base.memory.num_channels * factor)
+    if channels <= 0:
+        raise ValueError("scaling factor too small")
+    memory = replace(
+        base.memory,
+        stacks=1,
+        channels_per_stack=channels,
+        total_bandwidth_gbps=base.memory.total_bandwidth_gbps * factor,
+    )
+    noc = replace(
+        base.noc,
+        ports=channels * 2,
+        total_bandwidth_gbps=base.noc.total_bandwidth_gbps * factor,
+    )
+    local = LocalLinkConfig(
+        total_bandwidth_gbps=base.local_link.total_bandwidth_gbps * factor
+    )
+    return replace(
+        base,
+        num_sms=channels * 2,
+        num_llc_slices=channels * 2,
+        memory=memory,
+        noc=noc,
+        local_link=local,
+    )
+
+
+def with_llc_capacity(base: GPUConfig, factor: float) -> GPUConfig:
+    """Scale total LLC capacity by scaling sets per slice (Section 7.5)."""
+    sets = max(1, int(base.llc_slice.sets * factor))
+    return replace(base, llc_slice=replace(base.llc_slice, sets=sets))
+
+
+def with_partition_ratio(base: GPUConfig, slices_per_channel: int) -> GPUConfig:
+    """Change LLC slices per partition at constant total capacity
+    (Section 7.5 'Partition')."""
+    if slices_per_channel <= 0:
+        raise ValueError("slices_per_channel must be positive")
+    old_total_sets = base.num_llc_slices * base.llc_slice.sets
+    slices = base.num_channels * slices_per_channel
+    sets = max(1, old_total_sets // slices)
+    return replace(
+        base,
+        num_llc_slices=slices,
+        llc_slice=replace(base.llc_slice, sets=sets),
+    )
+
+
+def mcm_config(modules: int = 4, base: GPUConfig = None) -> GPUConfig:
+    """The Section 7.6 MCM-GPU: 128 SMs / 128 slices / 64 channels by
+    default (2x the baseline split across four modules)."""
+    if base is None:
+        base = scaled_config(2.0)
+    if base.num_channels % modules:
+        raise ValueError("channels must divide across modules")
+    return base

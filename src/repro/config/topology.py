@@ -1,0 +1,131 @@
+"""Topology descriptions: which architecture to assemble.
+
+The paper evaluates four organisations (Section 7):
+
+* ``MEM_SIDE_UBA`` -- conventional memory-side UBA (Figure 1a): a crossbar
+  between all L1s and all LLC slices; slices are co-located with memory
+  controllers.
+* ``SM_SIDE_UBA`` -- A100-style SM-side UBA (Figure 1b): two coherent LLC
+  partitions, each caching the full address space for the SMs on its side;
+  LLC misses cross the NoC to the memory controllers.
+* ``NUBA`` -- this work (Figure 1c): partitions of SMs + LLC slices +
+  memory controller with point-to-point local links and an inter-partition
+  NoC.
+* MCM variants of the memory-side UBA and NUBA (Figure 15) where the NoC
+  is split into on-module crossbars bridged by inter-module links.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config.gpu import GPUConfig
+
+
+class Architecture(enum.Enum):
+    MEM_SIDE_UBA = "mem-side-uba"
+    SM_SIDE_UBA = "sm-side-uba"
+    NUBA = "nuba"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class AddressMapKind(enum.Enum):
+    """Address mapping policy (Section 2)."""
+
+    #: Fixed-channel partition-aware map (Figure 2): channel bits sit
+    #: directly above the page offset and are copied verbatim so the driver
+    #: controls placement; bank bits are XOR-randomised.
+    FIXED_CHANNEL = "fixed-channel"
+    #: PAE [49]: channel bits are randomised too (UBA only; the driver
+    #: loses placement control).
+    PAE = "pae"
+
+
+class PagePolicy(enum.Enum):
+    """Driver page-allocation policy (Section 4, Section 7.6)."""
+
+    FIRST_TOUCH = "first-touch"
+    ROUND_ROBIN = "round-robin"
+    LEAST_FIRST = "least-first"
+    LAB = "lab"
+    MIGRATION = "migration"
+    PAGE_REPLICATION = "page-replication"
+
+
+class ReplicationPolicy(enum.Enum):
+    """Read-only shared data replication policy (Section 5)."""
+
+    NONE = "no-rep"
+    FULL = "full-rep"
+    MDR = "mdr"
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """Composition of one NUBA partition (Section 3, 'design space')."""
+
+    sms: int = 2
+    llc_slices: int = 2
+    memory_channels: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.sms, self.llc_slices, self.memory_channels) <= 0:
+            raise ValueError("partition members must be positive")
+
+
+@dataclass(frozen=True)
+class MCMSpec:
+    """Multi-chip-module layout (Section 7.6, Figure 15)."""
+
+    modules: int = 4
+    #: Bidirectional inter-module link bandwidth (GB/s), per the paper's
+    #: 720 GB/s evaluation point.
+    inter_module_bandwidth_gbps: float = 720.0
+    inter_module_latency: int = 32
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Everything needed to assemble one simulated system."""
+
+    architecture: Architecture = Architecture.NUBA
+    address_map: AddressMapKind = AddressMapKind.FIXED_CHANNEL
+    page_policy: PagePolicy = PagePolicy.LAB
+    replication: ReplicationPolicy = ReplicationPolicy.MDR
+    #: LAB reverts to least-first below this Normalized Page Balance
+    #: (Section 4; default threshold 0.9).
+    lab_threshold: float = 0.9
+    #: MDR epoch length in cycles (Section 5.1; the paper uses 20 K cycles,
+    #: scaled runs use shorter epochs).
+    mdr_epoch: int = 20_000
+    #: SM-side UBA LLC partition count (A100-style: 2).
+    sm_side_partitions: int = 2
+    mcm: Optional[MCMSpec] = None
+
+    def validate(self, gpu: GPUConfig) -> None:
+        """Check the spec is consistent with a GPU configuration."""
+        if self.architecture is Architecture.SM_SIDE_UBA:
+            if gpu.num_sms % self.sm_side_partitions:
+                raise ValueError("SMs must divide across SM-side partitions")
+            if gpu.num_llc_slices % self.sm_side_partitions:
+                raise ValueError(
+                    "LLC slices must divide across SM-side partitions"
+                )
+        if not 0.0 < self.lab_threshold <= 1.0:
+            raise ValueError("LAB threshold must be in (0, 1]")
+        if self.mdr_epoch <= 0:
+            raise ValueError("MDR epoch must be positive")
+        if self.mcm is not None and gpu.num_channels % self.mcm.modules:
+            raise ValueError("channels must divide across MCM modules")
+        if (
+            self.architecture is not Architecture.MEM_SIDE_UBA
+            and self.address_map is AddressMapKind.PAE
+        ):
+            raise ValueError(
+                "PAE randomises channel bits and removes driver placement "
+                "control; it is only meaningful for memory-side UBA"
+            )

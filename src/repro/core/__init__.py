@@ -1,0 +1,29 @@
+"""The NUBA core: system assembly, LAB integration and MDR.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.core.bwmodel` -- the analytical effective-bandwidth model
+  (Section 5.1 equations);
+* :mod:`repro.core.mdr` -- the Model-Driven Replication epoch controller;
+* :mod:`repro.core.system` -- the simulated GPU system: components,
+  request routing for all three architectures, kernel execution;
+* :mod:`repro.core.builders` -- constructors for memory-side UBA, SM-side
+  UBA and NUBA systems;
+* :mod:`repro.core.mcm` -- multi-chip-module variants (Section 7.6).
+"""
+
+from repro.core.bwmodel import BandwidthModel, ModelInputs
+from repro.core.mdr import MDRController
+from repro.core.system import GPUSystem, RunResult
+from repro.core.builders import build_system
+from repro.core.mcm import build_mcm_system
+
+__all__ = [
+    "BandwidthModel",
+    "GPUSystem",
+    "MDRController",
+    "ModelInputs",
+    "RunResult",
+    "build_mcm_system",
+    "build_system",
+]

@@ -1,0 +1,100 @@
+"""Model-Driven Replication: the epoch controller (Section 5).
+
+MDR divides time into fixed-length epochs (20 K cycles in the paper).
+During each epoch the set-sampling profiler collects the LLC hit rate
+under both policies (via shadow directories) and the local/remote access
+mix. At the epoch boundary the analytical bandwidth model is evaluated in
+hardware (116 cycles on two fixed-point ALUs) and the configuration with
+the higher estimated effective bandwidth is adopted for the next epoch.
+
+Replication itself is per-cacheline and on demand: while replication is
+enabled, read-only shared requests to remote homes are routed to the
+local LLC slice first (Section 5.2); the replica is installed on the
+fill. The router consults :attr:`MDRController.replicate` per request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cache.sampling import SetSampler
+from repro.config.topology import ReplicationPolicy
+from repro.core.bwmodel import EVALUATION_CYCLES, BandwidthModel
+
+
+@dataclass
+class EpochDecision:
+    """Record of one epoch-boundary evaluation (for analysis/tests)."""
+
+    cycle: int
+    hit_rate_norep: float
+    hit_rate_fullrep: float
+    frac_local: float
+    bw_norep: float
+    bw_fullrep: float
+    replicate: bool
+
+
+#: Hysteresis margin: replication must promise at least this relative
+#: bandwidth gain before MDR enables it. Damps oscillation when the two
+#: estimates are within sampling noise of each other (both saturate at
+#: BW_MEM for miss-dominated workloads), where a wrong "replicate" epoch
+#: pollutes the LLC for many epochs after.
+REPLICATION_MARGIN = 1.05
+
+
+@dataclass
+class MDRController:
+    """Decides, once per epoch, whether to replicate read-only data."""
+
+    model: BandwidthModel
+    sampler: SetSampler
+    policy: ReplicationPolicy = ReplicationPolicy.MDR
+    #: Current decision consulted by the request router.
+    replicate: bool = field(init=False)
+    decisions: List[EpochDecision] = field(default_factory=list, init=False)
+    #: Cycles spent evaluating the model (fidelity accounting).
+    evaluation_cycles: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.replicate = self.policy is ReplicationPolicy.FULL
+
+    def on_epoch(self, cycle: int) -> None:
+        """Epoch boundary: evaluate the model and update the decision."""
+        if self.policy is not ReplicationPolicy.MDR:
+            return  # NONE and FULL are static policies
+        profile = self.sampler.snapshot()
+        self.sampler.reset_epoch()
+        if profile.observed == 0:
+            return  # nothing to learn this epoch; keep the decision
+        bw_norep = self.model.bw_no_replication(
+            profile.hit_rate_norep, profile.frac_local_norep
+        )
+        bw_fullrep = self.model.bw_full_replication(
+            profile.hit_rate_fullrep, profile.frac_local_norep
+        )
+        self.replicate = bw_fullrep > bw_norep * REPLICATION_MARGIN
+        self.evaluation_cycles += EVALUATION_CYCLES
+        self.decisions.append(
+            EpochDecision(
+                cycle=cycle,
+                hit_rate_norep=profile.hit_rate_norep,
+                hit_rate_fullrep=profile.hit_rate_fullrep,
+                frac_local=profile.frac_local_norep,
+                bw_norep=bw_norep,
+                bw_fullrep=bw_fullrep,
+                replicate=self.replicate,
+            )
+        )
+
+    def on_kernel_boundary(self) -> None:
+        """Kernel boundary: data read-only in the previous kernel may be
+        read-write in the next one, so profiling restarts."""
+        self.sampler.reset_epoch()
+        if self.policy is ReplicationPolicy.MDR:
+            self.replicate = False
+
+    @property
+    def replication_epochs(self) -> int:
+        return sum(1 for d in self.decisions if d.replicate)

@@ -1,0 +1,34 @@
+"""The GPU driver: page allocation policies and translation management.
+
+Memory page allocation in GPUs is done in system software -- the GPU
+driver on the host CPU allocates a page to a memory module on first
+access (Section 4). This package implements the paper's Local-And-
+Balanced (LAB) policy, the first-touch/round-robin/least-first baselines,
+and the Section 7.6 alternatives (page migration and page replication).
+"""
+
+from repro.driver.allocator import (
+    FirstTouchAllocator,
+    LABAllocator,
+    LeastFirstAllocator,
+    PageAllocator,
+    RoundRobinAllocator,
+    make_allocator,
+    normalized_page_balance,
+)
+from repro.driver.driver import GpuDriver
+from repro.driver.migration import PageMigrationManager
+from repro.driver.page_replication import PageReplicationDriver
+
+__all__ = [
+    "FirstTouchAllocator",
+    "GpuDriver",
+    "LABAllocator",
+    "LeastFirstAllocator",
+    "PageAllocator",
+    "PageMigrationManager",
+    "PageReplicationDriver",
+    "RoundRobinAllocator",
+    "make_allocator",
+    "normalized_page_balance",
+]

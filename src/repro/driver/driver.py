@@ -1,0 +1,134 @@
+"""The GPU driver facade.
+
+The driver owns the page table, applies the configured page-allocation
+policy on first touch, tracks page sharing (the Figure 3 statistic) and
+serves as the MMUs' translation provider.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional, Sequence, Set
+
+from repro.config.gpu import GPUConfig
+from repro.driver.allocator import PageAllocator
+from repro.sim.stats import Histogram
+from repro.vm.address_map import AddressMap
+from repro.vm.page_table import PageTable
+from repro.vm.tlb import TranslationProvider
+
+
+class GpuDriver(TranslationProvider):
+    """Allocates memory pages to channels and translates for the MMUs."""
+
+    def __init__(
+        self,
+        gpu: GPUConfig,
+        address_map: AddressMap,
+        allocator: PageAllocator,
+        track_partition_counts: bool = False,
+    ) -> None:
+        self.gpu = gpu
+        self.address_map = address_map
+        self.allocator = allocator
+        self.page_table = PageTable()
+        self._frame_index = [0] * gpu.num_channels
+        self._global_frame = 0
+        #: vpage -> owning channel (for stats and migration).
+        self.page_home: Dict[int, int] = {}
+        #: vpage -> set of SMs that accessed it (sharing degree, Fig. 3).
+        self.page_accessors: Dict[int, Set[int]] = defaultdict(set)
+        #: Optional per-partition access counts (page migration input).
+        self.track_partition_counts = track_partition_counts
+        self.partition_counts: Dict[int, Dict[int, int]] = {}
+        self._sms_per_partition = gpu.sms_per_partition
+
+    # ------------------------------------------------------------------
+    # TranslationProvider interface.
+    # ------------------------------------------------------------------
+
+    def lookup_translation(self, vpage: int, sm_id: int) -> Optional[int]:
+        return self.page_table.lookup(vpage)
+
+    def handle_fault(self, vpage: int, sm_id: int) -> int:
+        """First-touch allocation: pick a channel, carve out a frame."""
+        if self.address_map.driver_controls_placement():
+            channel = self.allocator.allocate(vpage, sm_id)
+            frame = self.address_map.frame_for_channel(
+                channel, self._frame_index[channel]
+            )
+            self._frame_index[channel] += 1
+        else:
+            # PAE randomises channel bits: the driver just hands out
+            # sequential frames and the map scatters them.
+            self.allocator.allocate(vpage, sm_id)
+            frame = self._global_frame
+            self._global_frame += 1
+            channel = self.address_map.channel_of_line(
+                self.address_map.line_addr(frame, 0)
+            )
+        self.page_table.install(vpage, frame)
+        self.page_home[vpage] = channel
+        return frame
+
+    @property
+    def translation_generation(self) -> int:
+        return self.page_table.generation
+
+    def carve_frame(self, channel: int) -> int:
+        """Hand out the next free physical frame on a channel (used by
+        migration and page replication when they move/copy pages)."""
+        frame = self.address_map.frame_for_channel(
+            channel, self._frame_index[channel]
+        )
+        self._frame_index[channel] += 1
+        return frame
+
+    # ------------------------------------------------------------------
+    # Access tracking (fed by the system router on L1 misses).
+    # ------------------------------------------------------------------
+
+    def note_access(self, vpage: int, sm_id: int) -> None:
+        """Record an L1 miss for sharing/migration statistics."""
+        self.page_accessors[vpage].add(sm_id)
+        if self.track_partition_counts:
+            partition = sm_id // self._sms_per_partition
+            counts = self.partition_counts.get(vpage)
+            if counts is None:
+                counts = defaultdict(int)
+                self.partition_counts[vpage] = counts
+            counts[partition] += 1
+
+    def reset_partition_counts(self) -> None:
+        """Clear the per-partition access counters (migration interval)."""
+        self.partition_counts = {}
+
+    # ------------------------------------------------------------------
+    # Statistics.
+    # ------------------------------------------------------------------
+
+    def sharing_histogram(self) -> Histogram:
+        """Pages bucketed by the number of SMs that accessed them."""
+        histogram = Histogram("page-sharing")
+        for accessors in self.page_accessors.values():
+            histogram.add(len(accessors))
+        return histogram
+
+    def shared_page_fraction(self) -> float:
+        """Fraction of pages accessed by more than one SM."""
+        total = len(self.page_accessors)
+        if total == 0:
+            return 0.0
+        shared = sum(
+            1 for accessors in self.page_accessors.values()
+            if len(accessors) > 1
+        )
+        return shared / total
+
+    @property
+    def pages_allocated(self) -> int:
+        return len(self.page_table)
+
+    def pages_per_channel(self) -> Sequence[int]:
+        """Pages currently allocated per memory channel."""
+        return list(self.allocator.pages_per_channel)

@@ -1,0 +1,115 @@
+"""Page-level replication (Section 7.6, [27]).
+
+When free memory allows, shared pages are replicated so each partition
+gets a local physical copy; reads become local, but:
+
+* every replica occupies distinct physical lines, multiplying the unique
+  line footprint and thrashing the LLC (the paper's -60.1% 3DCONV case);
+* a write to a replicated page forces a collapse back to a single copy
+  (with TLB shootdown), since keeping copies coherent in software is not
+  possible mid-kernel.
+
+Translations become per-partition, so the TLBs key entries by
+``(vpage, partition)`` via :meth:`translation_key`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+from repro.config.gpu import GPUConfig
+from repro.driver.allocator import PageAllocator
+from repro.driver.driver import GpuDriver
+from repro.vm.address_map import AddressMap
+
+
+class PageReplicationDriver(GpuDriver):
+    """A driver that replicates pages per partition on first remote touch."""
+
+    def __init__(
+        self,
+        gpu: GPUConfig,
+        address_map: AddressMap,
+        allocator: PageAllocator,
+        copy_lines: Optional[Callable[[int, int, int], None]] = None,
+        memory_headroom_pages: int = 1 << 20,
+    ) -> None:
+        super().__init__(gpu, address_map, allocator)
+        #: vpage -> {partition -> frame} replica map.
+        self._replicas: Dict[int, Dict[int, int]] = {}
+        #: Pages that have been written (never replicated again).
+        self._written: Set[int] = set()
+        self.copy_lines = copy_lines
+        self.memory_headroom_pages = memory_headroom_pages
+        self.replicas_created = 0
+        self.collapses = 0
+        self._partition_channel = [
+            partition for partition in range(gpu.num_partitions)
+        ]
+        self._extra_generation = 0
+
+    # ------------------------------------------------------------------
+    # TranslationProvider interface (per-partition).
+    # ------------------------------------------------------------------
+
+    def _partition_of(self, sm_id: int) -> int:
+        return sm_id // self._sms_per_partition
+
+    def translation_key(self, vpage: int, sm_id: int) -> int:
+        return vpage * self.gpu.num_partitions + self._partition_of(sm_id)
+
+    @property
+    def translation_generation(self) -> int:
+        return self.page_table.generation + self._extra_generation
+
+    def lookup_translation(self, vpage: int, sm_id: int) -> Optional[int]:
+        primary = self.page_table.lookup(vpage)
+        if primary is None:
+            return None
+        if vpage in self._written:
+            return primary
+        partition = self._partition_of(sm_id)
+        replicas = self._replicas.get(vpage)
+        if replicas is not None and partition in replicas:
+            return replicas[partition]
+        home = self.page_home[vpage]
+        if partition == home:
+            return primary
+        # Remote touch of an unwritten page: replicate if memory allows.
+        return None  # force a fault so handle_fault can replicate
+
+    def handle_fault(self, vpage: int, sm_id: int) -> int:
+        primary = self.page_table.lookup(vpage)
+        if primary is None:
+            return super().handle_fault(vpage, sm_id)
+        # Replication fault: copy the page into the local partition.
+        partition = self._partition_of(sm_id)
+        if (
+            vpage in self._written
+            or self.replicas_created >= self.memory_headroom_pages
+        ):
+            return primary
+        channel = self._partition_channel[partition]
+        frame = self.carve_frame(channel)
+        self._replicas.setdefault(vpage, {})[partition] = frame
+        self.replicas_created += 1
+        if self.copy_lines is not None:
+            self.copy_lines(vpage, self.page_home[vpage], channel)
+        return frame
+
+    # ------------------------------------------------------------------
+    # Write handling.
+    # ------------------------------------------------------------------
+
+    def note_store(self, vpage: int) -> None:
+        """A store hit a page: collapse its replicas (coherence)."""
+        if vpage in self._written:
+            return
+        self._written.add(vpage)
+        if self._replicas.pop(vpage, None) is not None:
+            self.collapses += 1
+            self._extra_generation += 1  # TLB shootdown
+
+    @property
+    def replica_count(self) -> int:
+        return sum(len(copies) for copies in self._replicas.values())

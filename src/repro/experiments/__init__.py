@@ -1,0 +1,6 @@
+"""Experiment harness: configured runs and per-figure reproductions."""
+
+from repro.experiments.runner import ExperimentRunner, RunKey
+from repro.experiments import figures
+
+__all__ = ["ExperimentRunner", "RunKey", "figures"]

@@ -1,0 +1,585 @@
+"""Per-figure experiment definitions.
+
+Each ``figN_*`` function reproduces one table or figure of the paper:
+it runs the required (benchmark x configuration) points through an
+:class:`~repro.experiments.runner.ExperimentRunner`, returns the raw
+series and renders a plain-text table shaped like the paper's plot.
+EXPERIMENTS.md records the paper-vs-measured comparison for each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.charts import bar_chart
+from repro.analysis.report import format_table, improvement_summary
+from repro.analysis.sharing import SHARING_BUCKETS, sharing_profile
+from repro.config.topology import (
+    AddressMapKind,
+    Architecture,
+    PagePolicy,
+    ReplicationPolicy,
+)
+from repro.experiments.runner import ExperimentRunner, RunKey
+from repro.sim.stats import harmonic_mean
+from repro.workloads.suite import BENCHMARKS, HIGH_SHARING, LOW_SHARING
+
+
+def _benches(subset: Optional[Sequence[str]]) -> List[str]:
+    if subset is None:
+        return list(BENCHMARKS)
+    return list(subset)
+
+
+def uba_key(bench: str) -> RunKey:
+    """The memory-side UBA baseline point for a benchmark."""
+    return RunKey(bench, Architecture.MEM_SIDE_UBA)
+
+
+def sm_uba_key(bench: str) -> RunKey:
+    """The SM-side UBA point for a benchmark."""
+    return RunKey(bench, Architecture.SM_SIDE_UBA)
+
+
+def nuba_norep_key(bench: str) -> RunKey:
+    """The NUBA-No-Rep (LAB only) point for a benchmark."""
+    return RunKey(bench, Architecture.NUBA,
+                  replication=ReplicationPolicy.NONE)
+
+
+def nuba_key(bench: str) -> RunKey:
+    """The full NUBA (LAB + MDR) point for a benchmark."""
+    return RunKey(bench, Architecture.NUBA,
+                  replication=ReplicationPolicy.MDR)
+
+
+@dataclass
+class FigureResult:
+    """Raw series plus a rendered table for one figure."""
+
+    figure: str
+    headers: List[str]
+    rows: List[List[object]]
+    summary: Dict[str, float] = field(default_factory=dict)
+    #: Optional bar-chart series: label -> value (rendered under the
+    #: table, visually mirroring the paper's figure).
+    chart: Dict[str, float] = field(default_factory=dict)
+    chart_reference: Optional[float] = None
+
+    def render(self) -> str:
+        """Render the table, optional chart and summary as text."""
+        lines = [f"== {self.figure} =="]
+        lines.append(format_table(self.headers, self.rows))
+        if self.chart:
+            lines.append("")
+            lines.append(bar_chart(
+                self.chart, reference=self.chart_reference, unit="x",
+            ))
+        if self.summary:
+            lines.append("")
+            for name, value in self.summary.items():
+                if isinstance(value, float):
+                    lines.append(f"{name}: {value:.3f}")
+                else:
+                    lines.append(f"{name}: {value}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Table 2 / Figure 3
+# ----------------------------------------------------------------------
+
+def table2_catalogue() -> FigureResult:
+    """Table 2: the benchmark suite with footprints and sharing class."""
+    rows = []
+    for abbr, bench in BENCHMARKS.items():
+        rows.append([
+            bench.name, abbr, bench.sharing,
+            f"{bench.footprint_mb:g} MB", f"{bench.ro_shared_mb:g} MB",
+            bench.total_pages,
+        ])
+    return FigureResult(
+        figure="Table 2: GPU-compute benchmarks",
+        headers=["Benchmark", "Abbr", "Sharing", "Paper footprint",
+                 "Paper RO-shared", "Scaled pages"],
+        rows=rows,
+        summary={
+            "low_sharing": len(LOW_SHARING),
+            "high_sharing": len(HIGH_SHARING),
+        },
+    )
+
+
+def fig3_sharing(runner: ExperimentRunner,
+                 benchmarks: Optional[Sequence[str]] = None) -> FigureResult:
+    """Figure 3: memory-page sharing degree per benchmark."""
+    rows = []
+    mismatches = 0
+    for bench in _benches(benchmarks):
+        system, _ = runner.run_system(uba_key(bench))
+        profile = sharing_profile(
+            bench, system.sharing_histogram(), system.gpu.num_sms
+        )
+        expected = BENCHMARKS[bench].sharing
+        measured = profile.classify()
+        if measured != expected:
+            mismatches += 1
+        rows.append(profile.row() + [expected, measured])
+    return FigureResult(
+        figure="Figure 3: page sharing degree",
+        headers=["bench"] + SHARING_BUCKETS + ["expected", "measured"],
+        rows=rows,
+        summary={"classification_mismatches": mismatches},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 7-9: iso-resource performance, bandwidth, miss breakdown
+# ----------------------------------------------------------------------
+
+def fig7_performance(runner: ExperimentRunner,
+                     benchmarks: Optional[Sequence[str]] = None,
+                     include_sm_side: bool = True) -> FigureResult:
+    """Figure 7: NUBA / NUBA-No-Rep speedups over memory-side UBA."""
+    benches = _benches(benchmarks)
+    rows = []
+    speedups = {"sm-side": {}, "nuba-norep": {}, "nuba": {}}
+    for bench in benches:
+        base = runner.run(uba_key(bench))
+        norep = runner.run(nuba_norep_key(bench))
+        full = runner.run(nuba_key(bench))
+        row = [bench, base.cycles]
+        if include_sm_side:
+            sm = runner.run(sm_uba_key(bench))
+            speedups["sm-side"][bench] = sm.speedup_over(base)
+            row.append(f"{sm.speedup_over(base):.3f}x")
+        speedups["nuba-norep"][bench] = norep.speedup_over(base)
+        speedups["nuba"][bench] = full.speedup_over(base)
+        row.append(f"{norep.speedup_over(base):.3f}x")
+        row.append(f"{full.speedup_over(base):.3f}x")
+        rows.append(row)
+
+    summary = {}
+    for group, names in [("low", LOW_SHARING), ("high", HIGH_SHARING),
+                         ("all", list(BENCHMARKS))]:
+        subset = [b for b in names if b in speedups["nuba"]]
+        if subset:
+            summary[f"nuba_improvement_{group}_pct"] = (
+                harmonic_mean([speedups["nuba"][b] for b in subset]) - 1
+            ) * 100
+            summary[f"nuba_norep_improvement_{group}_pct"] = (
+                harmonic_mean([speedups["nuba-norep"][b] for b in subset])
+                - 1
+            ) * 100
+    if include_sm_side and speedups["sm-side"]:
+        summary["sm_side_improvement_all_pct"] = (
+            harmonic_mean(list(speedups["sm-side"].values())) - 1
+        ) * 100
+    headers = ["bench", "UBA cycles"]
+    if include_sm_side:
+        headers.append("SM-side UBA")
+    headers += ["NUBA-No-Rep", "NUBA"]
+    return FigureResult(
+        "Figure 7: performance vs memory-side UBA",
+        headers, rows, summary,
+        chart={b: s for b, s in speedups["nuba"].items()},
+        chart_reference=1.0,
+    )
+
+
+def fig8_bandwidth(runner: ExperimentRunner,
+                   benchmarks: Optional[Sequence[str]] = None) -> FigureResult:
+    """Figure 8: perceived memory bandwidth (replies/cycle)."""
+    rows = []
+    ratios = {}
+    for bench in _benches(benchmarks):
+        base = runner.run(uba_key(bench))
+        norep = runner.run(nuba_norep_key(bench))
+        full = runner.run(nuba_key(bench))
+        rows.append([
+            bench,
+            f"{base.replies_per_cycle:.3f}",
+            f"{norep.replies_per_cycle:.3f}",
+            f"{full.replies_per_cycle:.3f}",
+        ])
+        if base.replies_per_cycle > 0:
+            ratios[bench] = full.replies_per_cycle / base.replies_per_cycle
+    summary = {}
+    if ratios:
+        summary["nuba_bandwidth_improvement_pct"] = (
+            harmonic_mean(list(ratios.values())) - 1
+        ) * 100
+    return FigureResult(
+        "Figure 8: perceived bandwidth (replies/cycle)",
+        ["bench", "UBA", "NUBA-No-Rep", "NUBA"], rows, summary,
+    )
+
+
+def fig9_miss_breakdown(runner: ExperimentRunner,
+                        benchmarks: Optional[Sequence[str]] = None
+                        ) -> FigureResult:
+    """Figure 9: local vs remote breakdown of L1 misses."""
+    rows = []
+    local_fracs = []
+    for bench in _benches(benchmarks):
+        base = runner.run(uba_key(bench))
+        norep = runner.run(nuba_norep_key(bench))
+        full = runner.run(nuba_key(bench))
+        rows.append([
+            bench,
+            f"{base.local_fraction * 100:.1f}%",
+            f"{norep.local_fraction * 100:.1f}%",
+            f"{full.local_fraction * 100:.1f}%",
+        ])
+        local_fracs.append(full.local_fraction)
+    summary = {}
+    if local_fracs:
+        summary["nuba_mean_local_pct"] = (
+            100 * sum(local_fracs) / len(local_fracs)
+        )
+    return FigureResult(
+        "Figure 9: L1 misses served locally",
+        ["bench", "UBA local", "NUBA-No-Rep local", "NUBA local"],
+        rows, summary,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 10: performance vs NoC power
+# ----------------------------------------------------------------------
+
+def fig10_noc_power(runner: ExperimentRunner,
+                    benchmarks: Optional[Sequence[str]] = None,
+                    noc_points=(700.0, 1400.0, 5600.0)) -> FigureResult:
+    """Figure 10: performance and NoC power across NoC bandwidths.
+
+    The baseline small configuration scales 1.4 TB/s to 350 GB/s, so the
+    sweep keeps the paper's *ratios*: 0.5x, 1x and 4x of the iso NoC.
+    """
+    benches = _benches(benchmarks)
+    base_noc = runner.base_gpu.noc.total_bandwidth_gbps
+    scale = base_noc / 1400.0
+    rows = []
+    summary = {}
+    baseline_keys = {b: uba_key(b) for b in benches}
+    reference_power = None
+    for arch, rep, label in [
+        (Architecture.MEM_SIDE_UBA, ReplicationPolicy.NONE, "UBA"),
+        (Architecture.SM_SIDE_UBA, ReplicationPolicy.NONE, "SM-UBA"),
+        (Architecture.NUBA, ReplicationPolicy.MDR, "NUBA"),
+    ]:
+        for point in noc_points:
+            gbps = point * scale
+            speedups = []
+            noc_power = 0.0
+            for bench in benches:
+                key = RunKey(bench, arch, replication=rep, noc_gbps=gbps)
+                result = runner.run(key)
+                base = runner.run(baseline_keys[bench])
+                speedups.append(result.speedup_over(base))
+                noc_power += result.energy.noc / max(1, result.cycles)
+            noc_power /= len(benches)
+            perf = harmonic_mean(speedups)
+            if label == "UBA" and point == noc_points[1]:
+                reference_power = noc_power
+            rows.append([
+                label, f"{point:.0f} GB/s (paper-scale)",
+                f"{perf:.3f}x", f"{noc_power:.3f}",
+            ])
+    if reference_power:
+        for row in rows:
+            row.append(f"{reference_power / float(row[3]):.2f}x")
+    return FigureResult(
+        "Figure 10: performance vs NoC power",
+        ["arch", "NoC bandwidth", "perf vs iso-UBA", "NoC power",
+         "power saving vs iso-UBA"],
+        rows, summary,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 11 / 12: LAB and MDR component studies
+# ----------------------------------------------------------------------
+
+def fig11_page_allocation(runner: ExperimentRunner,
+                          benchmarks: Optional[Sequence[str]] = None
+                          ) -> FigureResult:
+    """Figure 11: first-touch vs round-robin vs LAB on NUBA-No-Rep."""
+    benches = _benches(benchmarks)
+    rows = []
+    speedups = {p: {} for p in ("ft", "rr", "lab")}
+    for bench in benches:
+        base = runner.run(uba_key(bench))
+        results = {}
+        for tag, policy in [("ft", PagePolicy.FIRST_TOUCH),
+                            ("rr", PagePolicy.ROUND_ROBIN),
+                            ("lab", PagePolicy.LAB)]:
+            key = RunKey(bench, Architecture.NUBA,
+                         replication=ReplicationPolicy.NONE,
+                         page_policy=policy)
+            results[tag] = runner.run(key)
+            speedups[tag][bench] = results[tag].speedup_over(base)
+        rows.append([bench] + [
+            f"{speedups[tag][bench]:.3f}x" for tag in ("ft", "rr", "lab")
+        ])
+    summary = {}
+    for tag in ("ft", "rr", "lab"):
+        summary[f"{tag}_improvement_pct"] = (
+            harmonic_mean(list(speedups[tag].values())) - 1
+        ) * 100
+    lab_vs_ft = harmonic_mean([
+        speedups["lab"][b] / speedups["ft"][b] for b in benches
+    ])
+    lab_vs_rr = harmonic_mean([
+        speedups["lab"][b] / speedups["rr"][b] for b in benches
+    ])
+    summary["lab_vs_first_touch_pct"] = (lab_vs_ft - 1) * 100
+    summary["lab_vs_round_robin_pct"] = (lab_vs_rr - 1) * 100
+    return FigureResult(
+        "Figure 11: page allocation on NUBA",
+        ["bench", "first-touch", "round-robin", "LAB"], rows, summary,
+    )
+
+
+def fig12_replication(runner: ExperimentRunner,
+                      benchmarks: Optional[Sequence[str]] = None
+                      ) -> FigureResult:
+    """Figure 12: no-replication vs full replication vs MDR (LAB)."""
+    benches = _benches(benchmarks if benchmarks is not None
+                       else HIGH_SHARING)
+    rows = []
+    speedups = {p: {} for p in ("full", "mdr")}
+    for bench in benches:
+        norep = runner.run(nuba_norep_key(bench))
+        full = runner.run(
+            RunKey(bench, Architecture.NUBA,
+                   replication=ReplicationPolicy.FULL)
+        )
+        mdr = runner.run(nuba_key(bench))
+        speedups["full"][bench] = full.speedup_over(norep)
+        speedups["mdr"][bench] = mdr.speedup_over(norep)
+        rows.append([
+            bench,
+            f"{speedups['full'][bench]:.3f}x",
+            f"{speedups['mdr'][bench]:.3f}x",
+            f"{norep.llc_hit_rate:.2f}",
+            f"{full.llc_hit_rate:.2f}",
+        ])
+    summary = {
+        "mdr_vs_norep_pct": (
+            harmonic_mean(list(speedups["mdr"].values())) - 1
+        ) * 100,
+        "full_vs_norep_pct": (
+            harmonic_mean(list(speedups["full"].values())) - 1
+        ) * 100,
+        "mdr_never_much_worse_than_norep": all(
+            s >= 0.93 for s in speedups["mdr"].values()
+        ),
+    }
+    return FigureResult(
+        "Figure 12: data replication on NUBA (vs No-Rep)",
+        ["bench", "Full-Rep", "MDR", "LLC hit (No-Rep)",
+         "LLC hit (Full-Rep)"],
+        rows, summary,
+        chart=dict(speedups["mdr"]),
+        chart_reference=1.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 13: energy
+# ----------------------------------------------------------------------
+
+def fig13_energy(runner: ExperimentRunner,
+                 benchmarks: Optional[Sequence[str]] = None
+                 ) -> FigureResult:
+    """Figure 13: normalised GPU energy, NoC vs rest."""
+    benches = _benches(benchmarks)
+    rows = []
+    noc_savings = []
+    total_savings = []
+    for bench in benches:
+        base = runner.run(uba_key(bench))
+        nuba = runner.run(nuba_key(bench))
+        norm = nuba.energy.normalized_to(base.energy)
+        base_norm = base.energy.normalized_to(base.energy)
+        rows.append([
+            bench,
+            f"{base_norm['noc']:.3f}", f"{base_norm['rest']:.3f}",
+            f"{norm['noc']:.3f}", f"{norm['rest']:.3f}",
+            f"{norm['total']:.3f}",
+        ])
+        if base.energy.noc > 0:
+            noc_savings.append(1 - nuba.energy.noc / base.energy.noc)
+        total_savings.append(1 - norm["total"])
+    summary = {
+        "mean_noc_energy_saving_pct": 100 * sum(noc_savings)
+        / max(1, len(noc_savings)),
+        "mean_total_energy_saving_pct": 100 * sum(total_savings)
+        / max(1, len(total_savings)),
+    }
+    return FigureResult(
+        "Figure 13: normalised energy (UBA=1.0)",
+        ["bench", "UBA NoC", "UBA rest", "NUBA NoC", "NUBA rest",
+         "NUBA total"],
+        rows, summary,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 14: sensitivity analyses
+# ----------------------------------------------------------------------
+
+def _mean_improvement(runner: ExperimentRunner, benches, nuba_kwargs,
+                      uba_kwargs) -> float:
+    speedups = []
+    for bench in benches:
+        nuba = runner.run(RunKey(bench, Architecture.NUBA,
+                                 replication=ReplicationPolicy.MDR,
+                                 **nuba_kwargs))
+        uba = runner.run(RunKey(bench, Architecture.MEM_SIDE_UBA,
+                                **uba_kwargs))
+        speedups.append(nuba.speedup_over(uba))
+    return (harmonic_mean(speedups) - 1) * 100
+
+
+def fig14_sensitivity(runner: ExperimentRunner,
+                      benchmarks: Optional[Sequence[str]] = None
+                      ) -> FigureResult:
+    """Figure 14: NUBA improvement across the design space."""
+    benches = _benches(benchmarks)
+    rows = []
+
+    for factor, label in [(0.5, "0.5x"), (1.0, "1x"), (2.0, "2x")]:
+        gain = _mean_improvement(
+            runner, benches,
+            {"size_factor": factor}, {"size_factor": factor},
+        )
+        rows.append(["GPU size", label, f"{gain:.1f}%"])
+
+    for spc in (1, 2, 4):
+        gain = _mean_improvement(
+            runner, benches,
+            {"slices_per_channel": spc}, {"slices_per_channel": spc},
+        )
+        rows.append(["LLC slices/partition", str(spc), f"{gain:.1f}%"])
+
+    for factor in (0.5, 1.0, 2.0):
+        gain = _mean_improvement(
+            runner, benches,
+            {"llc_capacity_factor": factor},
+            {"llc_capacity_factor": factor},
+        )
+        rows.append(["LLC capacity", f"{factor:g}x", f"{gain:.1f}%"])
+
+    #: The paper's 2 MB huge pages are 512x the 4 KB base; at our scaled
+    #: footprints the equivalent sharing-degree shift comes from 4x pages.
+    for page_bytes, label in [(4096, "4 KB"), (16384, "16 KB (scaled 2MB)")]:
+        gain = _mean_improvement(
+            runner, benches,
+            {"page_bytes": page_bytes}, {"page_bytes": page_bytes},
+        )
+        rows.append(["page size", label, f"{gain:.1f}%"])
+
+    gain = _mean_improvement(
+        runner, benches, {}, {"address_map": AddressMapKind.PAE},
+    )
+    rows.append(["UBA address map", "PAE", f"{gain:.1f}%"])
+
+    for threshold in (0.8, 0.9, 0.95):
+        speedups = []
+        for bench in benches:
+            nuba = runner.run(RunKey(
+                bench, Architecture.NUBA,
+                replication=ReplicationPolicy.NONE,
+                lab_threshold=threshold,
+            ))
+            uba = runner.run(uba_key(bench))
+            speedups.append(nuba.speedup_over(uba))
+        gain = (harmonic_mean(speedups) - 1) * 100
+        rows.append(["LAB threshold", f"{threshold:g}", f"{gain:.1f}%"])
+
+    return FigureResult(
+        "Figure 14: sensitivity analyses (NUBA improvement over UBA)",
+        ["axis", "value", "improvement"], rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 16 / Section 7.6: MCM and allocation alternatives
+# ----------------------------------------------------------------------
+
+def fig16_mcm(runner: ExperimentRunner,
+              benchmarks: Optional[Sequence[str]] = None,
+              modules: int = 4) -> FigureResult:
+    """Figure 16: NUBA on an MCM GPU vs a monolithic GPU.
+
+    Both systems are 2x the base size; the MCM splits it into four
+    modules with scarce inter-module links.
+    """
+    benches = _benches(benchmarks)
+    rows = []
+    mono_speedups = []
+    mcm_speedups = []
+    link_gbps = (
+        720.0 * runner.base_gpu.memory.total_bandwidth_gbps / 720.0 / 4
+    )
+    for bench in benches:
+        mono_uba = runner.run(RunKey(bench, Architecture.MEM_SIDE_UBA,
+                                     size_factor=2.0))
+        mono_nuba = runner.run(RunKey(bench, Architecture.NUBA,
+                                      replication=ReplicationPolicy.MDR,
+                                      size_factor=2.0))
+        mcm_uba = runner.run(RunKey(bench, Architecture.MEM_SIDE_UBA,
+                                    size_factor=2.0, mcm_modules=modules,
+                                    mcm_link_gbps=link_gbps))
+        mcm_nuba = runner.run(RunKey(bench, Architecture.NUBA,
+                                     replication=ReplicationPolicy.MDR,
+                                     size_factor=2.0, mcm_modules=modules,
+                                     mcm_link_gbps=link_gbps))
+        mono = mono_nuba.speedup_over(mono_uba)
+        mcm = mcm_nuba.speedup_over(mcm_uba)
+        mono_speedups.append(mono)
+        mcm_speedups.append(mcm)
+        rows.append([bench, f"{mono:.3f}x", f"{mcm:.3f}x"])
+    summary = {
+        "monolithic_improvement_pct": (
+            harmonic_mean(mono_speedups) - 1) * 100,
+        "mcm_improvement_pct": (harmonic_mean(mcm_speedups) - 1) * 100,
+    }
+    return FigureResult(
+        "Figure 16: NUBA on MCM vs monolithic (2x size)",
+        ["bench", "monolithic NUBA/UBA", "MCM NUBA/UBA"], rows, summary,
+    )
+
+
+def sec76_alternatives(runner: ExperimentRunner,
+                       benchmarks: Optional[Sequence[str]] = None
+                       ) -> FigureResult:
+    """Section 7.6: page migration and page replication vs LAB."""
+    benches = _benches(benchmarks)
+    rows = []
+    for bench in benches:
+        base = runner.run(uba_key(bench))
+        lab = runner.run(nuba_norep_key(bench))
+        migration = runner.run(RunKey(
+            bench, Architecture.NUBA,
+            replication=ReplicationPolicy.NONE,
+            page_policy=PagePolicy.MIGRATION,
+        ))
+        page_rep = runner.run(RunKey(
+            bench, Architecture.NUBA,
+            replication=ReplicationPolicy.NONE,
+            page_policy=PagePolicy.PAGE_REPLICATION,
+        ))
+        rows.append([
+            bench,
+            f"{lab.speedup_over(base):.3f}x",
+            f"{migration.speedup_over(base):.3f}x",
+            f"{page_rep.speedup_over(base):.3f}x",
+        ])
+    return FigureResult(
+        "Section 7.6: allocation alternatives (speedup over UBA)",
+        ["bench", "LAB", "page migration", "page replication"], rows,
+    )

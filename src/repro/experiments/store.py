@@ -1,0 +1,127 @@
+"""Persistent result store.
+
+Simulations are the expensive part of every experiment, so results can
+be persisted as JSON keyed by the :class:`~repro.experiments.runner.RunKey`
+and reused across processes (e.g. between bench invocations, or when
+regenerating EXPERIMENTS.md). The store is a plain directory of JSON
+files -- friendly to version control and manual inspection.
+
+Usage::
+
+    runner = ExperimentRunner()
+    store = ResultStore("results/")
+    store.attach(runner)          # hits disk before simulating
+    runner.run(RunKey("KMEANS"))  # simulated once, then cached on disk
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.core.system import RunResult
+from repro.experiments.runner import ExperimentRunner, RunKey
+from repro.power.energy import EnergyBreakdown
+
+#: Bump when RunResult's schema changes; stale entries are ignored.
+SCHEMA_VERSION = 2
+
+
+def key_fingerprint(key: RunKey) -> str:
+    """A stable filename-safe fingerprint of a RunKey."""
+    payload = json.dumps(
+        {
+            field.name: _plain(getattr(key, field.name))
+            for field in dataclasses.fields(key)
+        },
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+    return f"{key.benchmark}_{key.architecture.value}_{digest}"
+
+
+def _plain(value):
+    if hasattr(value, "value"):
+        return value.value
+    return value
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """Serialise a RunResult to a JSON-compatible dict."""
+    data = dataclasses.asdict(result)
+    data["_schema"] = SCHEMA_VERSION
+    return data
+
+
+def result_from_dict(data: dict) -> Optional[RunResult]:
+    """Rebuild a RunResult; None on schema mismatch."""
+    if data.get("_schema") != SCHEMA_VERSION:
+        return None
+    data = dict(data)
+    data.pop("_schema")
+    data["energy"] = EnergyBreakdown(**data["energy"])
+    return RunResult(**data)
+
+
+class ResultStore:
+    """A directory of persisted RunResults."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: RunKey) -> Path:
+        return self.root / f"{key_fingerprint(key)}.json"
+
+    def load(self, key: RunKey) -> Optional[RunResult]:
+        """Fetch a persisted result, or None on miss/corruption."""
+        path = self._path(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            result = result_from_dict(json.loads(path.read_text()))
+        except (json.JSONDecodeError, TypeError, KeyError):
+            result = None
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def save(self, key: RunKey, result: RunResult) -> None:
+        """Persist one result under its key's fingerprint."""
+        self._path(key).write_text(json.dumps(result_to_dict(result)))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> None:
+        """Delete every persisted result."""
+        for path in self.root.glob("*.json"):
+            path.unlink()
+
+    # ------------------------------------------------------------------
+    # Runner integration.
+    # ------------------------------------------------------------------
+
+    def attach(self, runner: ExperimentRunner) -> ExperimentRunner:
+        """Wrap a runner's ``run`` so results persist across processes."""
+        original_run = runner.run
+
+        def run_with_store(key: RunKey) -> RunResult:
+            cached = self.load(key)
+            if cached is not None:
+                runner._cache[key] = cached
+                return cached
+            result = original_run(key)
+            self.save(key, result)
+            return result
+
+        runner.run = run_with_store  # type: ignore[method-assign]
+        return runner

@@ -1,0 +1,6 @@
+"""HBM memory subsystem: bank timing and the FR-FCFS channel controller."""
+
+from repro.mem.dram import Bank, CoreClockTimings
+from repro.mem.controller import MemoryController
+
+__all__ = ["Bank", "CoreClockTimings", "MemoryController"]

@@ -1,0 +1,177 @@
+"""The per-channel FR-FCFS memory controller (Table 1).
+
+First-Ready First-Come-First-Served: among queued requests whose bank is
+ready, row hits are served before row misses; ties break by arrival
+order. One request is issued per cycle at most, and completed lines are
+serialised over the channel data bus (one 128 B line per ~8 core cycles,
+matching 22.5 GB/s per channel).
+
+Requests are either demand accesses (loads needing a fill/reply) or
+writebacks from LLC slices (no reply). The ``fill_sink`` callback routes
+completed demand requests back toward the owning LLC slice.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.config.gpu import MemoryConfig
+from repro.mem.dram import Bank, CoreClockTimings
+from repro.sim.engine import Component
+from repro.sim.request import AccessKind, MemoryRequest
+
+#: FR-FCFS scheduling window: how deep into the queue the scheduler looks
+#: for a row hit each cycle (hardware schedulers use a similar CAM width).
+SCHED_WINDOW = 16
+
+
+class MemoryController(Component):
+    """One memory channel: request queue, banks and data bus."""
+
+    def __init__(
+        self,
+        channel_id: int,
+        config: MemoryConfig,
+        bank_of: Callable[[int], int],
+        row_of: Callable[[int], int],
+        fill_sink: Callable[[MemoryRequest], bool],
+    ) -> None:
+        super().__init__(f"mc{channel_id}")
+        self.channel_id = channel_id
+        self.config = config
+        self.timings = CoreClockTimings.from_config(
+            config.timing, config.clock_ratio
+        )
+        self.banks = [Bank() for _ in range(config.banks_per_channel)]
+        self.bank_of = bank_of
+        self.row_of = row_of
+        self.fill_sink = fill_sink
+        self.queue_capacity = config.queue_entries
+        self._queue: Deque[Tuple[MemoryRequest, int, int]] = deque()
+        self._completions: List[Tuple[int, int, Optional[MemoryRequest]]] = []
+        self._retry_fills: Deque[MemoryRequest] = deque()
+        self._bus_free_at = 0
+        self._line_cycles = config.line_transfer_cycles
+        self._seq = 0
+
+        # Statistics.
+        self.reads = 0
+        self.writes = 0
+        self.lines_transferred = 0
+        self.busy_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Ingress.
+    # ------------------------------------------------------------------
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.queue_capacity
+
+    def enqueue(self, request: MemoryRequest) -> bool:
+        """Accept a demand request or writeback; False when full."""
+        if self.full:
+            return False
+        line = request.line_addr
+        self._queue.append((request, self.bank_of(line), self.row_of(line)))
+        return True
+
+    def enqueue_writeback(self, line_addr: int) -> bool:
+        """Accept a dirty-line writeback from an LLC slice.
+
+        Writebacks must not be dropped, so they are accepted even when the
+        queue is nominally full (real controllers reserve writeback slots).
+        """
+        request = MemoryRequest(AccessKind.STORE, line_addr, sm_id=-1)
+        self._queue.append(
+            (request, self.bank_of(line_addr), self.row_of(line_addr))
+        )
+        return True
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue) + len(self._completions) + len(self._retry_fills)
+
+    # ------------------------------------------------------------------
+    # Per-cycle work.
+    # ------------------------------------------------------------------
+
+    def tick(self, now: int) -> None:
+        self._deliver(now)
+        # One command per cycle; bank accesses overlap (bank-level
+        # parallelism) and the data bus serialises the resulting line
+        # transfers via the bus reservation in _schedule.
+        if self._queue:
+            self._schedule(now)
+
+    def _deliver(self, now: int) -> None:
+        while self._retry_fills:
+            if not self.fill_sink(self._retry_fills[0]):
+                return
+            self._retry_fills.popleft()
+        while self._completions and self._completions[0][0] <= now:
+            _, _, request = heapq.heappop(self._completions)
+            if request is None:
+                continue  # writeback: no reply
+            if not self.fill_sink(request):
+                self._retry_fills.append(request)
+
+    def _schedule(self, now: int) -> None:
+        """Issue one request per cycle following FR-FCFS."""
+        picked_index = -1
+        fallback_index = -1
+        for index, (request, bank_id, row) in enumerate(self._queue):
+            if index >= SCHED_WINDOW:
+                break
+            bank = self.banks[bank_id]
+            if not bank.ready(now):
+                continue
+            if bank.is_row_hit(row):
+                picked_index = index
+                break
+            if fallback_index < 0:
+                fallback_index = index
+        if picked_index < 0:
+            picked_index = fallback_index
+        if picked_index < 0:
+            return
+
+        request, bank_id, row = self._queue[picked_index]
+        del self._queue[picked_index]
+        bank = self.banks[bank_id]
+        is_write = request.kind is AccessKind.STORE
+        data_at = bank.access(row, now, self.timings, is_write=is_write)
+        # Serialise the line over the channel data bus.
+        bus_start = max(data_at, self._bus_free_at)
+        self._bus_free_at = bus_start + self._line_cycles
+        done_at = bus_start + self._line_cycles
+        self.busy_cycles += self._line_cycles
+        self.lines_transferred += 1
+        if is_write:
+            self.writes += 1
+            completion = None
+        else:
+            self.reads += 1
+            completion = request
+        self._seq += 1
+        heapq.heappush(self._completions, (done_at, self._seq, completion))
+
+    # ------------------------------------------------------------------
+    # Statistics.
+    # ------------------------------------------------------------------
+
+    @property
+    def row_hit_rate(self) -> float:
+        hits = sum(bank.row_hits for bank in self.banks)
+        total = hits + sum(bank.row_misses for bank in self.banks)
+        if total == 0:
+            return 0.0
+        return hits / total
+
+    def bandwidth_utilization(self, cycles: int) -> float:
+        """Fraction of data-bus cycles spent transferring lines."""
+        if cycles <= 0:
+            return 0.0
+        return self.busy_cycles / cycles

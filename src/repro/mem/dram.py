@@ -1,0 +1,107 @@
+"""HBM bank-state model.
+
+Each channel owns 16 banks (Table 1). A bank tracks its open row and the
+cycle until which it is busy; accesses are classified as row hits (pay
+tCL), row misses (pay tRP + tRCD + tCL) or row empty (pay tRCD + tCL).
+Timings are the Table 1 HBM parameters converted into core cycles
+(core : memory clock = 4 : 1).
+
+This is a simplification of Ramulator used by the paper: per-command bus
+scheduling and tFAW accounting are folded into per-bank busy windows and a
+shared data-bus serialisation in the controller, which preserves the two
+properties the NUBA study needs -- a hard per-channel bandwidth ceiling
+and a row-locality-dependent latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.gpu import HBMTimingConfig
+
+
+@dataclass(frozen=True)
+class CoreClockTimings:
+    """HBM timings pre-converted to core cycles."""
+
+    row_hit: int
+    row_miss: int
+    row_empty: int
+    write_recovery: int
+    #: Column-to-column delay: row hits to the same bank pipeline at
+    #: tCCD, they do not re-occupy the bank for the full access.
+    column_gap: int
+    #: Activate-to-activate spacing for the same bank (tRC).
+    activate_gap: int
+
+    @classmethod
+    def from_config(cls, timing: HBMTimingConfig, ratio: int) -> "CoreClockTimings":
+        scaled = timing.in_core_cycles(ratio)
+        return cls(
+            row_hit=scaled.tCL,
+            row_miss=scaled.tRP + scaled.tRCD + scaled.tCL,
+            row_empty=scaled.tRCD + scaled.tCL,
+            write_recovery=scaled.tWL + scaled.tWTRl,
+            column_gap=max(1, scaled.tCCDl),
+            activate_gap=scaled.tRC,
+        )
+
+
+class Bank:
+    """One DRAM bank: open row + busy-until bookkeeping."""
+
+    __slots__ = (
+        "open_row", "busy_until", "activate_ready_at",
+        "row_hits", "row_misses",
+    )
+
+    def __init__(self) -> None:
+        self.open_row: int = -1
+        self.busy_until: int = 0
+        #: Earliest cycle the next activate may issue (tRC spacing).
+        self.activate_ready_at: int = 0
+        self.row_hits = 0
+        self.row_misses = 0
+
+    def ready(self, now: int) -> bool:
+        """True when the bank can accept a new command."""
+        return self.busy_until <= now
+
+    def is_row_hit(self, row: int) -> bool:
+        """True when the row is already open."""
+        return self.open_row == row
+
+    def access(self, row: int, now: int, timings: CoreClockTimings,
+               is_write: bool = False) -> int:
+        """Perform an access; returns the cycle the data is available.
+
+        The caller must ensure the bank is ready. Row hits pipeline at
+        the column-to-column gap; row misses re-activate and must respect
+        the activate-to-activate spacing (tRC).
+        """
+        start = max(now, self.busy_until)
+        if self.open_row == row:
+            self.row_hits += 1
+            data_at = start + timings.row_hit
+            occupied_until = start + timings.column_gap
+        else:
+            start = max(start, self.activate_ready_at)
+            self.row_misses += 1
+            if self.open_row < 0:
+                data_at = start + timings.row_empty
+            else:
+                data_at = start + timings.row_miss
+            occupied_until = data_at - timings.row_hit + timings.column_gap
+            self.activate_ready_at = start + timings.activate_gap
+        self.open_row = row
+        if is_write:
+            occupied_until += timings.write_recovery
+        self.busy_until = occupied_until
+        return data_at
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        if total == 0:
+            return 0.0
+        return self.row_hits / total

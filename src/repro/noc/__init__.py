@@ -1,0 +1,12 @@
+"""Networks-on-chip: crossbars, partition links and the power model."""
+
+from repro.noc.crossbar import Crossbar
+from repro.noc.p2p import PartitionLinks
+from repro.noc.power import CrossbarPowerModel, NoCEnergyAccount
+
+__all__ = [
+    "Crossbar",
+    "CrossbarPowerModel",
+    "NoCEnergyAccount",
+    "PartitionLinks",
+]

@@ -1,0 +1,169 @@
+"""A bandwidth- and latency-accurate crossbar model.
+
+The paper's NoC is a hierarchical crossbar assembled from 16 8x8
+crossbars with 16 B links and 4-cycle stage latency (Section 6). We model
+the aggregate structure: every port can inject and eject ``port width``
+bytes per cycle, packets pay the full pipeline latency (stages x stage
+latency), and per-port ceilings produce hot-spot congestion (camping in
+front of a popular LLC slice, Section 5) without simulating individual
+flits.
+
+Packets wider than the per-cycle port width (e.g. 136 B replies over a
+16 B link) accumulate credit over multiple cycles, modelling wormhole
+serialisation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Component
+
+#: A sink accepts a delivered item or returns False (downstream full).
+Sink = Callable[[object], bool]
+
+
+class Crossbar(Component):
+    """An N-port crossbar with per-port bandwidth and pipeline latency."""
+
+    def __init__(
+        self,
+        name: str,
+        ports: int,
+        port_bytes_per_cycle: float,
+        latency: int,
+        queue_capacity: int = 64,
+        max_packet_bytes: int = 256,
+    ) -> None:
+        super().__init__(name)
+        if ports <= 0:
+            raise ValueError("crossbar needs at least one port")
+        if port_bytes_per_cycle <= 0:
+            raise ValueError("port width must be positive")
+        self.ports = ports
+        self.port_width = float(port_bytes_per_cycle)
+        self.latency = latency
+        self.queue_capacity = queue_capacity
+        self._credit_cap = max(self.port_width, float(max_packet_bytes))
+
+        self._in_queues: List[Deque[Tuple[object, int, int]]] = [
+            deque() for _ in range(ports)
+        ]
+        self._in_credit = [0.0] * ports
+        self._out_credit = [0.0] * ports
+        # Start one cycle in the past so ports have credit at cycle 0.
+        self._out_updated = [-1] * ports
+        self._arrivals: Dict[int, Deque[Tuple[int, object]]] = {}
+        self._sinks: List[Optional[Sink]] = [None] * ports
+        self._active: List[int] = []  # input ports with queued packets
+        self._rr_offset = 0
+
+        # Statistics (consumed by the power model).
+        self.bytes_transferred = 0
+        self.packets_transferred = 0
+        self.packets_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Wiring and ingress.
+    # ------------------------------------------------------------------
+
+    def set_sink(self, port: int, sink: Sink) -> None:
+        """Wire the delivery callback for one output port."""
+        self._sinks[port] = sink
+
+    def inject(self, src_port: int, dest_port: int, item: object,
+               size_bytes: int) -> bool:
+        """Enqueue a packet at an input port; False when the queue is full."""
+        queue = self._in_queues[src_port]
+        if len(queue) >= self.queue_capacity:
+            return False
+        if not queue:
+            self._active.append(src_port)
+        queue.append((item, size_bytes, dest_port))
+        return True
+
+    def input_occupancy(self, port: int) -> int:
+        """Packets queued at one input port."""
+        return len(self._in_queues[port])
+
+    @property
+    def pending(self) -> int:
+        queued = sum(len(q) for q in self._in_queues)
+        in_flight = sum(len(d) for d in self._arrivals.values())
+        return queued + in_flight
+
+    # ------------------------------------------------------------------
+    # Per-cycle work.
+    # ------------------------------------------------------------------
+
+    def tick(self, now: int) -> None:
+        self._deliver(now)
+        if self._active:
+            self._transfer(now)
+
+    def _deliver(self, now: int) -> None:
+        for dest in list(self._arrivals):
+            pipe = self._arrivals[dest]
+            sink = self._sinks[dest]
+            while pipe and pipe[0][0] <= now:
+                if sink is None or sink(pipe[0][1]):
+                    pipe.popleft()
+                else:
+                    break  # head-of-line blocking at this output
+            if not pipe:
+                del self._arrivals[dest]
+
+    def _out_budget(self, dest: int, now: int) -> float:
+        """Lazily accrue output-port credit."""
+        elapsed = now - self._out_updated[dest]
+        if elapsed > 0:
+            self._out_credit[dest] = min(
+                self._credit_cap,
+                self._out_credit[dest] + elapsed * self.port_width,
+            )
+            self._out_updated[dest] = now
+        return self._out_credit[dest]
+
+    def _transfer(self, now: int) -> None:
+        """Move packets from input queues into the pipeline."""
+        still_active: List[int] = []
+        # Rotate the service order for fairness.
+        self._rr_offset = (self._rr_offset + 1) % max(1, len(self._active))
+        order = self._active[self._rr_offset:] + self._active[: self._rr_offset]
+        for port in order:
+            queue = self._in_queues[port]
+            credit = min(
+                self._credit_cap, self._in_credit[port] + self.port_width
+            )
+            while queue:
+                item, size, dest = queue[0]
+                if credit < size:
+                    break
+                if self._out_budget(dest, now) < size:
+                    break  # output port saturated: head-of-line block
+                self._out_credit[dest] -= size
+                credit -= size
+                queue.popleft()
+                pipe = self._arrivals.get(dest)
+                if pipe is None:
+                    pipe = deque()
+                    self._arrivals[dest] = pipe
+                pipe.append((now + self.latency, item))
+                self.bytes_transferred += size
+                self.packets_transferred += 1
+            self._in_credit[port] = credit
+            if queue:
+                still_active.append(port)
+        self._active = still_active
+
+    # ------------------------------------------------------------------
+    # Statistics.
+    # ------------------------------------------------------------------
+
+    def aggregate_utilization(self, cycles: int) -> float:
+        """Fraction of the aggregate bandwidth actually used."""
+        if cycles <= 0:
+            return 0.0
+        capacity = self.ports * self.port_width * cycles
+        return self.bytes_transferred / capacity

@@ -1,0 +1,69 @@
+"""NUBA intra-partition point-to-point links (Sections 2-3).
+
+Within a partition, the SMs' L1 caches reach the local LLC slices through
+low-complexity point-to-point links: no input buffers or virtual channels,
+routing by address bits on the L1 side and a round-robin arbiter on the
+LLC side. We model one request link and one reply link per partition,
+each with the partition's share of the 2.8 TB/s aggregate local bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.engine import Component
+from repro.sim.queues import BandwidthLink
+from repro.sim.request import MemoryRequest
+
+
+class PartitionLinks(Component):
+    """Request + reply links for one NUBA partition."""
+
+    def __init__(
+        self,
+        partition_id: int,
+        width_bytes: float,
+        latency: int,
+        request_sink: Callable[[MemoryRequest], bool],
+        reply_sink: Callable[[MemoryRequest], bool],
+        capacity: int = 64,
+    ) -> None:
+        super().__init__(f"p2p{partition_id}")
+        self.partition_id = partition_id
+        self.request_link: BandwidthLink[MemoryRequest] = BandwidthLink(
+            width_bytes,
+            latency,
+            request_sink,
+            capacity=capacity,
+            name=f"{self.name}.req",
+        )
+        self.reply_link: BandwidthLink[MemoryRequest] = BandwidthLink(
+            width_bytes,
+            latency,
+            reply_sink,
+            capacity=capacity,
+            name=f"{self.name}.rep",
+        )
+
+    def send_request(self, request: MemoryRequest) -> bool:
+        """Queue a request on the SM-to-LLC direction."""
+        return self.request_link.push(request, request.request_bytes)
+
+    def send_reply(self, request: MemoryRequest) -> bool:
+        """Queue a reply on the LLC-to-SM direction."""
+        return self.reply_link.push(request, request.reply_bytes)
+
+    def tick(self, now: int) -> None:
+        self.request_link.tick(now)
+        self.reply_link.tick(now)
+
+    @property
+    def pending(self) -> int:
+        return self.request_link.pending + self.reply_link.pending
+
+    @property
+    def bytes_transferred(self) -> int:
+        return (
+            self.request_link.bytes_transferred
+            + self.reply_link.bytes_transferred
+        )

@@ -1,0 +1,5 @@
+"""Energy accounting for the GPU and its NoC."""
+
+from repro.power.energy import EnergyBreakdown, GPUEnergyModel
+
+__all__ = ["EnergyBreakdown", "GPUEnergyModel"]

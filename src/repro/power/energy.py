@@ -1,0 +1,97 @@
+"""GPU energy model (GPUWattch-style, Section 6).
+
+A simple activity-based model: static power proportional to the resource
+count plus per-event dynamic energies for instructions, cache accesses and
+DRAM line transfers. The NoC energy comes from the DSENT-style model in
+:mod:`repro.noc.power` and is kept as a separate component so the
+Figure 13 split (NoC versus rest of the GPU) can be reported.
+
+Units are arbitrary; all paper comparisons are ratios (normalised energy,
+x-factors), which is also how we report them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.gpu import GPUConfig
+
+#: Static power per SM per cycle (leakage + clocking).
+P_STATIC_PER_SM = 0.02
+#: Static power per LLC slice and per memory channel per cycle.
+P_STATIC_PER_SLICE = 0.004
+P_STATIC_PER_CHANNEL = 0.008
+#: Dynamic energy per issued instruction.
+E_INSTRUCTION = 0.35
+#: Dynamic energy per L1 access and per LLC access.
+E_L1_ACCESS = 0.06
+E_LLC_ACCESS = 0.30
+#: Dynamic energy per 128 B DRAM line transferred (dominant cost).
+E_DRAM_LINE = 6.0
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """NoC versus rest-of-GPU energy for one run (Figure 13)."""
+
+    noc: float
+    sm: float
+    cache: float
+    dram: float
+    static: float
+
+    @property
+    def rest(self) -> float:
+        return self.sm + self.cache + self.dram + self.static
+
+    @property
+    def total(self) -> float:
+        return self.noc + self.rest
+
+    @property
+    def noc_fraction(self) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.noc / total
+
+    def normalized_to(self, baseline: "EnergyBreakdown") -> dict:
+        """Energy components normalised to a baseline's total."""
+        reference = baseline.total
+        if reference <= 0:
+            raise ValueError("baseline has no energy")
+        return {
+            "noc": self.noc / reference,
+            "rest": self.rest / reference,
+            "total": self.total / reference,
+        }
+
+
+class GPUEnergyModel:
+    """Activity-based GPU energy accounting."""
+
+    def __init__(self, gpu: GPUConfig) -> None:
+        self.gpu = gpu
+        self.static_power = (
+            P_STATIC_PER_SM * gpu.num_sms
+            + P_STATIC_PER_SLICE * gpu.num_llc_slices
+            + P_STATIC_PER_CHANNEL * gpu.num_channels
+        )
+
+    def breakdown(
+        self,
+        cycles: int,
+        instructions: int,
+        l1_accesses: int,
+        llc_accesses: int,
+        dram_lines: int,
+        noc_energy: float,
+    ) -> EnergyBreakdown:
+        """Energy split for one run's activity counts."""
+        return EnergyBreakdown(
+            noc=noc_energy,
+            sm=E_INSTRUCTION * instructions,
+            cache=E_L1_ACCESS * l1_accesses + E_LLC_ACCESS * llc_accesses,
+            dram=E_DRAM_LINE * dram_lines,
+            static=self.static_power * cycles,
+        )

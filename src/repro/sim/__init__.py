@@ -1,0 +1,35 @@
+"""Cycle-level simulation substrate.
+
+This package provides the building blocks that every architectural model in
+:mod:`repro` is assembled from:
+
+* :mod:`repro.sim.request` -- the memory request/packet object that flows
+  through the modelled memory hierarchy.
+* :mod:`repro.sim.queues` -- bounded queues, delay lines and bandwidth
+  limited links.
+* :mod:`repro.sim.stats` -- counters and histograms used for reporting.
+* :mod:`repro.sim.engine` -- the cycle-driven simulation engine.
+
+The substrate corresponds to the GPGPU-sim core loop used by the paper; it
+is intentionally simplified (see DESIGN.md) but keeps the properties the
+NUBA study depends on: per-cycle structural hazards, bounded queue
+back-pressure and explicit per-link bandwidth ceilings.
+"""
+
+from repro.sim.engine import Component, Simulator
+from repro.sim.queues import BandwidthLink, BoundedQueue, DelayLine
+from repro.sim.request import AccessKind, MemoryRequest, RequestTracker
+from repro.sim.stats import Histogram, StatsRegistry
+
+__all__ = [
+    "AccessKind",
+    "BandwidthLink",
+    "BoundedQueue",
+    "Component",
+    "DelayLine",
+    "Histogram",
+    "MemoryRequest",
+    "RequestTracker",
+    "Simulator",
+    "StatsRegistry",
+]

@@ -1,0 +1,87 @@
+"""The cycle-driven simulation engine.
+
+The engine advances a set of :class:`Component` objects one cycle at a
+time. Components are ticked in registration order, which the system
+builders arrange to follow the request flow (SMs -> links/NoC -> LLC
+slices -> memory controllers -> reply paths) so that a request can make at
+most one hop per cycle, as in a real pipelined design.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.sim.stats import StatsRegistry
+
+
+class Component:
+    """Base class for everything that does per-cycle work."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def tick(self, now: int) -> None:
+        """Advance this component by one cycle."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Simulator:
+    """Owns the clock, the component list and the shared stats registry."""
+
+    def __init__(self, stats: Optional[StatsRegistry] = None) -> None:
+        self.cycle = 0
+        self.components: List[Component] = []
+        self.stats = stats if stats is not None else StatsRegistry()
+        self._epoch_hooks: List[tuple] = []  # (period, callback)
+
+    def add(self, component: Component) -> Component:
+        """Register a component; returns it for chaining."""
+        self.components.append(component)
+        return component
+
+    def every(self, period: int, callback: Callable[[int], None]) -> None:
+        """Invoke ``callback(cycle)`` every ``period`` cycles.
+
+        Used for MDR epoch boundaries (Section 5.1).
+        """
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._epoch_hooks.append((period, callback))
+
+    def step(self) -> None:
+        """Advance the simulation by one cycle."""
+        now = self.cycle
+        for component in self.components:
+            component.tick(now)
+        self.cycle += 1
+        for period, callback in self._epoch_hooks:
+            if self.cycle % period == 0:
+                callback(self.cycle)
+
+    def run(self, cycles: int) -> None:
+        """Run a fixed number of cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def run_until(
+        self,
+        done: Callable[[], bool],
+        max_cycles: int = 10_000_000,
+        check_period: int = 64,
+    ) -> bool:
+        """Run until ``done()`` is true or ``max_cycles`` elapse.
+
+        ``done`` is evaluated every ``check_period`` cycles to keep the
+        hot loop tight. Returns ``True`` when the predicate fired.
+        """
+        deadline = self.cycle + max_cycles
+        step = self.step
+        while self.cycle < deadline:
+            for _ in range(check_period):
+                step()
+            if done():
+                return True
+        return done()

@@ -1,0 +1,196 @@
+"""Queues, delay lines and bandwidth-limited links.
+
+These primitives provide the back-pressure and bandwidth ceilings that the
+NUBA evaluation hinges on. A :class:`BandwidthLink` transfers a bounded
+number of bytes per cycle and delivers packets after a fixed pipeline
+latency -- it models both the NUBA point-to-point partition links and the
+per-port behaviour of crossbar NoCs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Generic, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class BoundedQueue(Generic[T]):
+    """A FIFO with a maximum occupancy.
+
+    ``push`` returns ``False`` when the queue is full so that producers can
+    stall, which is how structural back-pressure propagates through the
+    model (e.g. a full LMR queue stalls the partition link, Figure 5).
+    """
+
+    def __init__(self, capacity: int, name: str = "queue") -> None:
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[T] = deque()
+        self.peak_occupancy = 0
+        self.total_pushed = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._items)
+
+    def push(self, item: T) -> bool:
+        """Append an item; False when the queue is full."""
+        if self.full:
+            return False
+        self._items.append(item)
+        self.total_pushed += 1
+        if len(self._items) > self.peak_occupancy:
+            self.peak_occupancy = len(self._items)
+        return True
+
+    def peek(self) -> Optional[T]:
+        """The head item without removing it (None if empty)."""
+        if not self._items:
+            return None
+        return self._items[0]
+
+    def push_front(self, item: T) -> None:
+        """Return an item to the head of the queue (retry after a popped
+        item could not be processed); may exceed capacity by one."""
+        self._items.appendleft(item)
+
+    def pop(self) -> T:
+        """Remove and return the head item."""
+        return self._items.popleft()
+
+    def clear(self) -> None:
+        """Drop every queued item."""
+        self._items.clear()
+
+    def __iter__(self):
+        return iter(self._items)
+
+
+class DelayLine(Generic[T]):
+    """Delivers items a fixed number of cycles after insertion.
+
+    Implemented as a deque of ``(ready_cycle, item)`` pairs; insertion order
+    guarantees monotonically non-decreasing ready cycles when the delay is
+    constant, so ``pop_ready`` only inspects the head.
+    """
+
+    def __init__(self, delay: int) -> None:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.delay = delay
+        self._items: Deque[Tuple[int, T]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, item: T, now: int) -> None:
+        """Insert an item that becomes ready after the delay."""
+        self._items.append((now + self.delay, item))
+
+    def pop_ready(self, now: int) -> List[T]:
+        """Remove and return every item whose delay elapsed."""
+        ready: List[T] = []
+        while self._items and self._items[0][0] <= now:
+            ready.append(self._items.popleft()[1])
+        return ready
+
+    def peek_ready(self, now: int) -> Optional[T]:
+        """The first ready item, if any, without removing it."""
+        if self._items and self._items[0][0] <= now:
+            return self._items[0][1]
+        return None
+
+
+class BandwidthLink(Generic[T]):
+    """A point-to-point link with a byte-per-cycle ceiling and latency.
+
+    Packets are ``(item, size_bytes)`` pairs. Each cycle the link earns
+    ``width_bytes`` of credit (fractional widths are supported so narrow
+    NoC sweeps remain expressible) and forwards whole packets while credit
+    lasts; forwarded packets arrive at the sink after ``latency`` cycles.
+
+    The sink is a callable ``sink(item) -> bool``; returning ``False``
+    (downstream queue full) leaves the packet at the head of the arrival
+    pipe, modelling head-of-line blocking back-pressure.
+    """
+
+    def __init__(
+        self,
+        width_bytes: float,
+        latency: int,
+        sink: Callable[[T], bool],
+        capacity: int = 64,
+        name: str = "link",
+        max_packet_bytes: int = 256,
+    ) -> None:
+        if width_bytes <= 0:
+            raise ValueError("link width must be positive")
+        self.width_bytes = float(width_bytes)
+        self.latency = latency
+        self.sink = sink
+        self.name = name
+        #: Packets wider than one cycle's credit serialise over several
+        #: cycles, so busy links may bank credit up to one packet's worth.
+        self._credit_cap = max(self.width_bytes, float(max_packet_bytes))
+        self.input = BoundedQueue[Tuple[T, int]](capacity, name=f"{name}.in")
+        self._in_flight: Deque[Tuple[int, T]] = deque()
+        self._credit = 0.0
+        self.bytes_transferred = 0
+        self.packets_transferred = 0
+        self.busy_cycles = 0
+
+    def push(self, item: T, size_bytes: int) -> bool:
+        """Enqueue a packet; returns ``False`` when the ingress is full."""
+        return self.input.push((item, size_bytes))
+
+    @property
+    def pending(self) -> int:
+        return len(self.input) + len(self._in_flight)
+
+    def tick(self, now: int) -> None:
+        """Advance the link by one cycle: earn credit, launch packets and
+        deliver packets whose latency elapsed."""
+        # Deliver arrivals (head-of-line blocking if sink refuses).
+        while self._in_flight and self._in_flight[0][0] <= now:
+            _, item = self._in_flight[0]
+            if not self.sink(item):
+                break
+            self._in_flight.popleft()
+
+        # Transfer new packets within the accumulated credit.
+        if not self.input:
+            # An idle link cannot bank more than one cycle of bandwidth.
+            self._credit = min(self._credit, self.width_bytes)
+            return
+        self.busy_cycles += 1
+        self._credit = min(self._credit + self.width_bytes, self._credit_cap)
+        while self.input:
+            head = self.input.peek()
+            assert head is not None
+            item, size = head
+            if self._credit < size:
+                break
+            self._credit -= size
+            self.input.pop()
+            self._in_flight.append((now + self.latency, item))
+            self.bytes_transferred += size
+            self.packets_transferred += 1
+
+    def utilization(self, cycles: int) -> float:
+        """Fraction of the link's byte budget actually used."""
+        if cycles <= 0:
+            return 0.0
+        return self.bytes_transferred / (self.width_bytes * cycles)

@@ -1,0 +1,18 @@
+"""Streaming Multiprocessor models: warps, schedulers, CTAs and the core."""
+
+from repro.sm.warp import Compute, MemAccess, Warp
+from repro.sm.scheduler import GTOScheduler
+from repro.sm.cta import CTA, DistributedCTAScheduler
+from repro.sm.coalescer import coalesce
+from repro.sm.core import SMCore
+
+__all__ = [
+    "CTA",
+    "Compute",
+    "DistributedCTAScheduler",
+    "GTOScheduler",
+    "MemAccess",
+    "SMCore",
+    "Warp",
+    "coalesce",
+]

@@ -1,0 +1,42 @@
+"""Memory-access coalescing.
+
+GPUs coalesce the per-lane addresses of a warp's memory instruction into
+the minimal set of 128 B line transactions. Workload generators usually
+emit already-coalesced accesses for speed, but the coalescer is used by
+the mini-PTX execution path and by tests to derive line targets from
+per-lane byte addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.sim.request import LINE_BYTES
+
+
+def coalesce(
+    lane_addrs: Iterable[int],
+    page_bytes: int = 4096,
+    line_bytes: int = LINE_BYTES,
+) -> List[Tuple[int, int]]:
+    """Coalesce per-lane virtual byte addresses into line targets.
+
+    Returns sorted unique ``(vpage, line_in_page)`` pairs, the format
+    consumed by :class:`repro.sm.warp.MemAccess`.
+    """
+    lines_per_page = page_bytes // line_bytes
+    unique_lines = {addr // line_bytes for addr in lane_addrs}
+    return sorted(
+        (line // lines_per_page, line % lines_per_page)
+        for line in unique_lines
+    )
+
+
+def coalescing_degree(lane_addrs: Iterable[int],
+                      line_bytes: int = LINE_BYTES) -> float:
+    """Average lanes served per line transaction (32 = perfect)."""
+    addrs = list(lane_addrs)
+    if not addrs:
+        return 0.0
+    lines = {addr // line_bytes for addr in addrs}
+    return len(addrs) / len(lines)

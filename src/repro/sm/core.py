@@ -1,0 +1,303 @@
+"""The SM core: issue logic, L1 interaction and CTA management.
+
+Each cycle the SM:
+
+1. drains memory replies (L1 fills, releasing waiting warps),
+2. performs up to two L1 accesses for translated requests,
+3. issues up to two instructions (one per GTO scheduler, Table 1).
+
+Memory instructions go through address translation (per-SM MMU), then the
+L1 data cache; misses are handed to the system router (``request_sink``)
+which implements the architecture-specific path (crossbar for UBA, local
+links or NoC for NUBA).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Set, Tuple
+
+from repro.cache.l1 import L1Cache, L1Outcome
+from repro.config.gpu import GPUConfig
+from repro.sim.engine import Component
+from repro.sim.queues import BoundedQueue, DelayLine
+from repro.sim.request import AccessKind, MemoryRequest
+from repro.sm.cta import CTA, DistributedCTAScheduler
+from repro.sm.scheduler import GTOScheduler
+from repro.sm.warp import Barrier, Compute, MemAccess, Warp
+from repro.vm.tlb import MMU
+
+#: Maximum requests waiting for translation/L1 before memory issue stalls
+#: (models a finite load-store unit queue).
+LSU_QUEUE_LIMIT = 48
+
+#: How often (cycles) the SM scans for retired CTAs to refill.
+CTA_REFILL_PERIOD = 8
+
+#: Kernel-launch stagger between SMs (cycles). The GigaThread engine
+#: distributes CTAs to SMs in order, so low-numbered SMs start (and
+#: first-touch shared pages) earlier -- the effect behind first-touch's
+#: skewed placement of shared pages (Section 4).
+CTA_LAUNCH_STAGGER = 8
+
+
+class SMCore(Component):
+    """One Streaming Multiprocessor."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        gpu: GPUConfig,
+        l1: L1Cache,
+        mmu: MMU,
+        request_sink: Callable[[MemoryRequest], bool],
+    ) -> None:
+        super().__init__(f"sm{sm_id}")
+        self.sm_id = sm_id
+        self.gpu = gpu
+        self.l1 = l1
+        self.mmu = mmu
+        self.request_sink = request_sink
+        self.schedulers = [
+            GTOScheduler(i) for i in range(gpu.sm.warp_schedulers)
+        ]
+        self._lsu: List[Tuple[int, int, MemoryRequest]] = []  # ready heap
+        self._lsu_seq = 0
+        self._out: BoundedQueue[MemoryRequest] = BoundedQueue(
+            64, name=f"{self.name}.out"
+        )
+        self._replies: BoundedQueue[MemoryRequest] = BoundedQueue(
+            64, name=f"{self.name}.replies"
+        )
+        self._hit_returns: DelayLine[MemoryRequest] = DelayLine(l1.latency)
+        self._cta_source: Optional[DistributedCTAScheduler] = None
+        self._active_ctas: List[CTA] = []
+        self._launch_at = 0
+        self._read_only_spaces: Set[str] = set()
+        self._max_ctas = max(
+            1, gpu.sm.warps_per_sm // max(1, self._warps_per_cta_guess())
+        )
+
+        # Statistics.
+        self.instructions = 0
+        self.loads_issued = 0
+        self.loads_completed = 0
+        self.stores_issued = 0
+        self.stall_cycles = 0
+        self.barriers_completed = 0
+
+    def _warps_per_cta_guess(self) -> int:
+        return 4  # refined when a kernel is attached
+
+    # ------------------------------------------------------------------
+    # Kernel attach / CTA management.
+    # ------------------------------------------------------------------
+
+    def start_kernel(
+        self,
+        cta_source: DistributedCTAScheduler,
+        read_only_spaces: Set[str],
+        now: int = 0,
+    ) -> None:
+        """Attach a kernel: its CTA scheduler and compiler annotations."""
+        self._cta_source = cta_source
+        self._read_only_spaces = read_only_spaces
+        self._active_ctas = []
+        self._launch_at = now + self.sm_id * CTA_LAUNCH_STAGGER
+        self._max_ctas = max(
+            1, self.gpu.sm.warps_per_sm // cta_source.warps_per_cta
+        )
+        self._refill_ctas()
+
+    def _refill_ctas(self) -> None:
+        if self._cta_source is None:
+            return
+        # Retire finished CTAs.
+        retired = [cta for cta in self._active_ctas if cta.finished]
+        if retired:
+            for cta in retired:
+                for warp in cta.warps:
+                    self.schedulers[warp.sched_index].remove_warp(warp)
+            self._active_ctas = [
+                cta for cta in self._active_ctas if not cta.finished
+            ]
+        # Launch new CTAs while there are slots and work.
+        while len(self._active_ctas) < self._max_ctas:
+            cta = self._cta_source.next_cta(self.sm_id)
+            if cta is None:
+                break
+            self._active_ctas.append(cta)
+            for index, warp in enumerate(cta.warps):
+                warp.sched_index = index % len(self.schedulers)
+                self.schedulers[warp.sched_index].add_warp(warp)
+
+    @property
+    def idle(self) -> bool:
+        """True when this SM has fully drained its assigned work."""
+        if self._active_ctas and not all(c.finished for c in self._active_ctas):
+            return False
+        if self._cta_source is not None and self._cta_source.remaining(self.sm_id):
+            return False
+        return not (self._lsu or self._out or self._replies)
+
+    # ------------------------------------------------------------------
+    # Reply ingress (called by links / NoC delivery).
+    # ------------------------------------------------------------------
+
+    def deliver_reply(self, request: MemoryRequest) -> bool:
+        """Accept a memory reply from the interconnect."""
+        return self._replies.push(request)
+
+    # ------------------------------------------------------------------
+    # Per-cycle work.
+    # ------------------------------------------------------------------
+
+    def tick(self, now: int) -> None:
+        if now < self._launch_at:
+            return
+        self._drain_replies(now)
+        for request in self._hit_returns.pop_ready(now):
+            request.complete(now)
+            self.loads_completed += 1
+        self._drain_out()
+        self._access_l1(now)
+        self._issue(now)
+        if now % CTA_REFILL_PERIOD == 0:
+            self._refill_ctas()
+
+    def _drain_replies(self, now: int) -> None:
+        while self._replies:
+            request = self._replies.pop()
+            if request.kind is AccessKind.ATOMIC:
+                # Atomics never allocated in the L1; complete directly.
+                request.complete(now)
+                self.loads_completed += 1
+                continue
+            for waiter in self.l1.fill(request.line_addr):
+                waiter.complete(now)
+                self.loads_completed += 1
+
+    def _drain_out(self) -> None:
+        while self._out:
+            if not self.request_sink(self._out.peek()):
+                break
+            self._out.pop()
+
+    def _access_l1(self, now: int) -> None:
+        """Up to two L1 port accesses per cycle for translated requests."""
+        ports = len(self.schedulers)
+        for _ in range(ports):
+            if not self._lsu or self._lsu[0][0] > now:
+                return
+            if self._out.full:
+                return  # cannot emit misses; try again next cycle
+            ready_at, seq, request = heapq.heappop(self._lsu)
+            if request.kind is AccessKind.STORE:
+                self.l1.access_store(request)
+                self._out.push(request)
+                continue
+            if request.kind is AccessKind.ATOMIC:
+                # Atomics bypass the L1 and execute at the LLC
+                # (Section 5.3); any cached copy becomes stale.
+                self.l1.array.invalidate(request.line_addr)
+                self._out.push(request)
+                continue
+            outcome = self.l1.access_load(request)
+            if outcome is L1Outcome.HIT:
+                self._hit_returns.push(request, now)
+            elif outcome is L1Outcome.MISS_NEW:
+                self._out.push(request)
+            elif outcome is L1Outcome.STALL:
+                # L1 MSHRs full: retry shortly.
+                heapq.heappush(self._lsu, (now + 4, seq, request))
+                return
+            # MISS_MERGED: fill will complete the waiter.
+
+    def _issue(self, now: int) -> None:
+        issued_any = False
+        for scheduler in self.schedulers:
+            warp = scheduler.pick(now)
+            if warp is None:
+                continue
+            instr = warp.next_instruction()
+            if instr is None:
+                scheduler.notify_stall(warp)
+                continue
+            issued_any = True
+            self.instructions += 1
+            warp.instructions_issued += 1
+            if type(instr) is Compute:
+                warp.ready_at = now + instr.cycles
+                continue
+            if type(instr) is Barrier:
+                self._arrive_at_barrier(warp, scheduler, now)
+                continue
+            self._issue_mem(warp, instr, scheduler, now)
+        if not issued_any:
+            self.stall_cycles += 1
+
+    def _issue_mem(
+        self,
+        warp: Warp,
+        instr: MemAccess,
+        scheduler: GTOScheduler,
+        now: int,
+    ) -> None:
+        if len(self._lsu) > LSU_QUEUE_LIMIT:
+            # LSU queue full: replay the instruction later.
+            warp.stalled_instr = instr
+            warp.ready_at = now + 2
+            self.instructions -= 1
+            warp.instructions_issued -= 1
+            scheduler.notify_stall(warp)
+            return
+        kind = instr.kind
+        if kind is AccessKind.LOAD and instr.space in self._read_only_spaces:
+            kind = AccessKind.LOAD_RO
+        is_store = kind is AccessKind.STORE
+        for vpage, line_in_page in instr.targets:
+            ready_at, frame = self.mmu.translate(vpage, now)
+            line_addr = frame * self.gpu.lines_per_page + line_in_page
+            request = MemoryRequest(
+                kind, line_addr, self.sm_id, vpage=vpage
+            )
+            request.issue_cycle = now
+            if is_store:
+                self.stores_issued += 1
+            else:
+                self.loads_issued += 1
+                request.on_complete = warp.load_returned
+            self._lsu_seq += 1
+            heapq.heappush(self._lsu, (ready_at, self._lsu_seq, request))
+        if not is_store:
+            warp.block_on_loads(len(instr.targets))
+            scheduler.notify_stall(warp)
+        warp.ready_at = now + 1
+
+    def _arrive_at_barrier(self, warp: Warp, scheduler, now: int) -> None:
+        """``bar.sync``: block the warp until its whole CTA arrives;
+        releasing the barrier invalidates the L1 (software coherence at
+        synchronisation boundaries, Section 5.3)."""
+        warp.at_barrier = True
+        scheduler.notify_stall(warp)
+        cta = next(
+            (c for c in self._active_ctas if c.cta_id == warp.cta_id), None
+        )
+        if cta is None:
+            warp.at_barrier = False
+            return
+        if all(w.at_barrier or w.finished for w in cta.warps):
+            for member in cta.warps:
+                member.at_barrier = False
+                member.ready_at = now + 1
+            self.l1.flush()
+            self.barriers_completed += 1
+
+    # ------------------------------------------------------------------
+    # Coherence.
+    # ------------------------------------------------------------------
+
+    def flush_l1(self) -> None:
+        """Kernel-boundary L1 invalidation (software coherence)."""
+        self.l1.flush()
+        self.mmu.flush()

@@ -1,0 +1,87 @@
+"""Cooperative Thread Arrays and distributed CTA scheduling.
+
+The paper assumes *distributed CTA scheduling* [6]: consecutive CTAs are
+assigned to the same SM (and therefore the same NUBA partition) to
+maximise data locality. We implement it by carving the kernel's CTA index
+space into one contiguous chunk per SM; an SM draws its next CTA from its
+own chunk when a running CTA retires.
+
+This is the mechanism that makes first-touch placement work well for
+low-sharing applications (Section 4) -- and that concentrates shared pages
+on few channels for high-sharing ones, the pathology LAB fixes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterator, List, Optional
+
+from repro.sm.warp import Instruction, Warp
+
+#: A CTA factory: given a CTA id and warp index, produce that warp's
+#: instruction stream.
+WarpFactory = Callable[[int, int], Iterator[Instruction]]
+
+
+class CTA:
+    """A CTA instance: a group of warps sharing a CTA id."""
+
+    def __init__(self, cta_id: int, warps: List[Warp]) -> None:
+        self.cta_id = cta_id
+        self.warps = warps
+
+    @property
+    def finished(self) -> bool:
+        return all(warp.finished for warp in self.warps)
+
+
+class DistributedCTAScheduler:
+    """Assigns contiguous CTA ranges to SMs.
+
+    ``num_ctas`` CTAs are split into ``num_sms`` contiguous chunks; SM
+    ``i`` executes chunk ``i``. Chunks may be uneven when the counts do
+    not divide; trailing SMs simply receive fewer CTAs (load imbalance is
+    part of the behaviour being modelled).
+    """
+
+    def __init__(self, num_ctas: int, num_sms: int,
+                 warps_per_cta: int, warp_factory: WarpFactory) -> None:
+        if num_ctas <= 0:
+            raise ValueError("kernel needs at least one CTA")
+        self.num_ctas = num_ctas
+        self.num_sms = num_sms
+        self.warps_per_cta = warps_per_cta
+        self.warp_factory = warp_factory
+        self._queues: List[Deque[int]] = [deque() for _ in range(num_sms)]
+        base = num_ctas // num_sms
+        extra = num_ctas % num_sms
+        next_cta = 0
+        for sm in range(num_sms):
+            count = base + (1 if sm < extra else 0)
+            for _ in range(count):
+                self._queues[sm].append(next_cta)
+                next_cta += 1
+        self._next_warp_id = 0
+        self.dispatched = 0
+
+    def remaining(self, sm_id: int) -> int:
+        """CTAs still queued for one SM."""
+        return len(self._queues[sm_id])
+
+    @property
+    def total_remaining(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    def next_cta(self, sm_id: int) -> Optional[CTA]:
+        """Dispatch the next CTA for an SM, or None when its chunk is done."""
+        queue = self._queues[sm_id]
+        if not queue:
+            return None
+        cta_id = queue.popleft()
+        warps = []
+        for w in range(self.warps_per_cta):
+            stream = self.warp_factory(cta_id, w)
+            warps.append(Warp(self._next_warp_id, cta_id, stream))
+            self._next_warp_id += 1
+        self.dispatched += 1
+        return CTA(cta_id, warps)

@@ -1,0 +1,62 @@
+"""Warp scheduling: Greedy-Then-Oldest (Table 1).
+
+GTO keeps issuing from the same warp until it stalls (memory dependence
+or stream end) and then switches to the oldest ready warp. Each SM has
+two schedulers, i.e. up to two issue slots per cycle; warps are split
+between the schedulers by parity, as in GPGPU-sim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sm.warp import Warp
+
+
+class GTOScheduler:
+    """One GTO scheduler instance managing a subset of an SM's warps."""
+
+    def __init__(self, scheduler_id: int = 0) -> None:
+        self.scheduler_id = scheduler_id
+        #: Warps in age order (index 0 = oldest).
+        self._warps: List[Warp] = []
+        self._greedy: Optional[Warp] = None
+        self.issues = 0
+        self.idle_cycles = 0
+
+    def add_warp(self, warp: Warp) -> None:
+        """Register a warp (appended as youngest)."""
+        self._warps.append(warp)
+
+    def remove_warp(self, warp: Warp) -> None:
+        """Deregister a retired warp."""
+        self._warps.remove(warp)
+        if self._greedy is warp:
+            self._greedy = None
+
+    @property
+    def warps(self) -> List[Warp]:
+        return list(self._warps)
+
+    @property
+    def active_warps(self) -> int:
+        return sum(1 for w in self._warps if not w.finished)
+
+    def pick(self, now: int) -> Optional[Warp]:
+        """Select the warp to issue from this cycle, or None."""
+        greedy = self._greedy
+        if greedy is not None and not greedy.done and greedy.is_ready(now):
+            self.issues += 1
+            return greedy
+        for warp in self._warps:
+            if warp.is_ready(now):
+                self._greedy = warp
+                self.issues += 1
+                return warp
+        self.idle_cycles += 1
+        return None
+
+    def notify_stall(self, warp: Warp) -> None:
+        """The issued warp stalled; the next pick falls back to oldest."""
+        if self._greedy is warp:
+            self._greedy = None

@@ -1,0 +1,18 @@
+"""Virtual memory: address maps, page table, TLBs and page-table walkers."""
+
+from repro.vm.address_map import AddressMap, FixedChannelMap, PAEMap, make_address_map
+from repro.vm.page_table import PageTable
+from repro.vm.tlb import L1TLB, L2TLB, MMU
+from repro.vm.walker import WalkerPool
+
+__all__ = [
+    "AddressMap",
+    "FixedChannelMap",
+    "L1TLB",
+    "L2TLB",
+    "MMU",
+    "PAEMap",
+    "PageTable",
+    "WalkerPool",
+    "make_address_map",
+]

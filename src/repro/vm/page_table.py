@@ -1,0 +1,58 @@
+"""The GPU page table.
+
+Maps virtual page numbers to physical frame numbers. Entries are
+installed by the GPU driver (:mod:`repro.driver`) on first touch; the page
+table itself is policy-free. Page migration (Section 7.6) remaps entries
+in place and the table keeps a generation counter per page so TLBs can
+invalidate stale translations cheaply (shootdown).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class PageTable:
+    """A flat virtual-page -> physical-frame map with shootdown support."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, int] = {}
+        #: Bumped whenever any translation changes; TLBs compare against it
+        #: to detect that cached translations may be stale.
+        self.generation = 0
+        self.installs = 0
+        self.remaps = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpage: int) -> bool:
+        return vpage in self._entries
+
+    def lookup(self, vpage: int) -> Optional[int]:
+        """Return the physical frame for ``vpage`` or ``None`` if unmapped."""
+        return self._entries.get(vpage)
+
+    def install(self, vpage: int, frame: int) -> None:
+        """Install a fresh translation (first touch)."""
+        if vpage in self._entries:
+            raise KeyError(f"vpage {vpage} already mapped")
+        self._entries[vpage] = frame
+        self.installs += 1
+
+    def remap(self, vpage: int, frame: int) -> None:
+        """Move a page to a new frame (page migration, Section 7.6)."""
+        if vpage not in self._entries:
+            raise KeyError(f"vpage {vpage} not mapped")
+        self._entries[vpage] = frame
+        self.generation += 1
+        self.remaps += 1
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Iterate (vpage, frame) entries."""
+        return iter(self._entries.items())
+
+    def clear(self) -> None:
+        """Drop all translations (bumps the generation)."""
+        self._entries.clear()
+        self.generation += 1

@@ -1,0 +1,56 @@
+"""Page-table walker pool.
+
+The simulated GPU supports up to 64 concurrent page walkers shared by all
+SMs (Table 1). Rather than modelling the walk memory accesses explicitly
+the pool charges a fixed walk latency and serialises walks beyond the
+concurrency limit, which preserves the property the paper depends on:
+translation bandwidth is finite and TLB-miss storms queue up.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+
+class WalkerPool:
+    """A pool of page-table walkers with bounded concurrency."""
+
+    def __init__(self, num_walkers: int, walk_latency: int) -> None:
+        if num_walkers <= 0:
+            raise ValueError("need at least one walker")
+        self.num_walkers = num_walkers
+        self.walk_latency = walk_latency
+        #: Min-heap of busy-until cycles for in-flight walks.
+        self._busy: List[int] = []
+        self.walks = 0
+        self.total_queue_delay = 0
+
+    def schedule(self, now: int) -> int:
+        """Start a walk at ``now``; returns its completion cycle.
+
+        If all walkers are busy the walk starts when the earliest walker
+        frees up.
+        """
+        # Retire finished walks.
+        while self._busy and self._busy[0] <= now:
+            heapq.heappop(self._busy)
+        if len(self._busy) < self.num_walkers:
+            start = now
+        else:
+            start = heapq.heappop(self._busy)
+            self.total_queue_delay += start - now
+        done = start + self.walk_latency
+        heapq.heappush(self._busy, done)
+        self.walks += 1
+        return done
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._busy)
+
+    @property
+    def mean_queue_delay(self) -> float:
+        if self.walks == 0:
+            return 0.0
+        return self.total_queue_delay / self.walks

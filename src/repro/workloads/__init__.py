@@ -1,0 +1,37 @@
+"""Synthetic GPU workloads reproducing the Table 2 benchmark suite.
+
+Real CUDA traces are unavailable in this environment, so each benchmark
+is a parameterised generator reproducing the characteristics the paper's
+mechanisms react to: page-sharing degree (Figure 3), memory footprint,
+read-only-shared footprint (Table 2), access regularity and compute
+intensity. See DESIGN.md for the substitution rationale.
+"""
+
+from repro.workloads.benchmark import (
+    Benchmark,
+    CompiledKernel,
+    KernelSpec,
+    StructureSpec,
+    Workload,
+)
+from repro.workloads.suite import (
+    BENCHMARKS,
+    HIGH_SHARING,
+    LOW_SHARING,
+    get_benchmark,
+)
+from repro.workloads.trace import TraceWorkload, record_trace
+
+__all__ = [
+    "BENCHMARKS",
+    "Benchmark",
+    "CompiledKernel",
+    "HIGH_SHARING",
+    "KernelSpec",
+    "LOW_SHARING",
+    "StructureSpec",
+    "TraceWorkload",
+    "Workload",
+    "get_benchmark",
+    "record_trace",
+]

@@ -1,0 +1,245 @@
+"""Benchmark descriptions and their compilation into runnable workloads.
+
+A :class:`Benchmark` is GPU-independent: data structures (with page
+counts), kernels (with warp-body builders and PTX sources) and Table 2
+metadata. ``instantiate(gpu)`` lays the structures out in virtual memory,
+runs the compiler's read-only marking pass over each kernel's PTX and
+produces a :class:`Workload` of :class:`CompiledKernel` objects that
+:meth:`repro.core.system.GPUSystem.run_workload` executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.compiler.passes import mark_read_only
+from repro.compiler.ptx import parse_kernel
+from repro.config.gpu import GPUConfig
+from repro.sm.warp import Instruction
+from repro.workloads.patterns import Region
+
+
+@dataclass(frozen=True)
+class StructureSpec:
+    """One data structure of a benchmark.
+
+    ``pages`` is the scaled footprint used by the simulation; ``mb`` is
+    the original Table 2 footprint (reporting only). ``written`` is the
+    ground truth the compiler analysis should discover from the PTX.
+    """
+
+    name: str
+    pages: int
+    written: bool = False
+    mb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.pages <= 0:
+            raise ValueError(f"structure {self.name} needs at least a page")
+
+
+@dataclass
+class KernelContext:
+    """Everything a warp-body builder needs."""
+
+    regions: Dict[str, Region]
+    num_ctas: int
+    warps_per_cta: int
+    seed: int
+    params: Dict[str, float] = field(default_factory=dict)
+
+    def region(self, name: str) -> Region:
+        """Look up a structure's region by name."""
+        return self.regions[name]
+
+
+#: ``body(ctx, cta_id, warp_id)`` produces one warp's instruction stream.
+WarpBody = Callable[[KernelContext, int, int], Iterator[Instruction]]
+
+
+@dataclass
+class KernelSpec:
+    """One kernel of a benchmark."""
+
+    name: str
+    body: WarpBody
+    #: Structures this kernel loads from / stores to (used to synthesise
+    #: PTX when no hand-written source is given).
+    reads: Tuple[str, ...] = ()
+    writes: Tuple[str, ...] = ()
+    #: Structures updated with atomics (read-write by definition).
+    atomics: Tuple[str, ...] = ()
+    #: Four CTAs per SM x two warps fill the scaled SM's eight warp slots,
+    #: giving the memory-level parallelism that makes runs bandwidth-bound.
+    ctas_per_sm: int = 4
+    warps_per_cta: int = 2
+    ptx: Optional[str] = None
+
+
+@dataclass
+class CompiledKernel:
+    """A kernel bound to a GPU configuration, ready to execute."""
+
+    name: str
+    num_ctas: int
+    warps_per_cta: int
+    warp_factory: Callable[[int, int], Iterator[Instruction]]
+    read_only_spaces: Set[str]
+    rewritten_loads: int = 0
+
+
+class Workload:
+    """An instantiated benchmark: laid-out regions + compiled kernels."""
+
+    def __init__(
+        self,
+        benchmark: "Benchmark",
+        gpu: GPUConfig,
+        regions: Dict[str, Region],
+        kernels: List[CompiledKernel],
+    ) -> None:
+        self.benchmark = benchmark
+        self.gpu = gpu
+        self.regions = regions
+        self._kernels = kernels
+
+    def compiled_kernels(self) -> List[CompiledKernel]:
+        """The kernels to execute, in order."""
+        return self._kernels
+
+    @property
+    def name(self) -> str:
+        return self.benchmark.name
+
+    @property
+    def total_pages(self) -> int:
+        return sum(region.pages for region in self.regions.values())
+
+
+def synthesize_ptx(
+    name: str,
+    reads: Sequence[str],
+    writes: Sequence[str],
+    atomics: Sequence[str] = (),
+) -> str:
+    """Generate a faithful mini-PTX kernel from read/write sets.
+
+    The synthesised code loads a pointer per parameter, converts it to
+    the global space, loads through every read pointer and stores through
+    every written pointer -- exactly the information the data-flow
+    analysis extracts from real PTX.
+    """
+    params = list(
+        dict.fromkeys(list(reads) + list(writes) + list(atomics))
+    )
+    lines = [f".visible .entry {name}("]
+    lines.extend(
+        f"    .param .u64 {p}{',' if i < len(params) - 1 else ''}"
+        for i, p in enumerate(params)
+    )
+    lines.append(")")
+    lines.append("{")
+    reg = {}
+    for i, p in enumerate(params):
+        reg[p] = f"%rd{i + 1}"
+        lines.append(f"    ld.param.u64 {reg[p]}, [{p}];")
+    for i, p in enumerate(params):
+        lines.append(f"    cvta.to.global.u64 %rg{i + 1}, {reg[p]};")
+        reg[p] = f"%rg{i + 1}"
+    lines.append("    mov.u32 %r1, %tid;")
+    for i, p in enumerate(reads):
+        lines.append(f"    ld.global.f32 %f{i + 1}, [{reg[p]}+4];")
+    lines.append("    add.f32 %f0, %f1, %f1;")
+    for p in writes:
+        lines.append(f"    st.global.f32 [{reg[p]}+4], %f0;")
+    for i, p in enumerate(atomics):
+        lines.append(f"    atom.global.add.u32 %r{i + 2}, [{reg[p]}], %r1;")
+    lines.append("    ret;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+@dataclass
+class Benchmark:
+    """A GPU-independent benchmark description (one Table 2 row)."""
+
+    name: str
+    abbr: str
+    sharing: str  # "low" | "high"
+    structures: Tuple[StructureSpec, ...]
+    kernels: Tuple[KernelSpec, ...]
+    footprint_mb: float = 0.0
+    ro_shared_mb: float = 0.0
+    params: Dict[str, float] = field(default_factory=dict)
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sharing not in ("low", "high"):
+            raise ValueError("sharing must be 'low' or 'high'")
+        names = [s.name for s in self.structures]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate structure names")
+
+    #: GPU size (SM count) the page counts were calibrated against.
+    REFERENCE_SMS = 16
+
+    @property
+    def total_pages(self) -> int:
+        return sum(s.pages for s in self.structures)
+
+    def layout(self, scale: float = 1.0) -> Dict[str, Region]:
+        """Assign contiguous virtual-page ranges to the structures.
+
+        ``scale`` multiplies every structure's page count; instantiation
+        scales footprints with the GPU's SM count so per-CTA working
+        sets -- and the footprint-to-LLC ratio, since LLC capacity scales
+        with the GPU too -- stay constant across the Figure 14/16 size
+        sweeps (the paper's real benchmarks are large enough to fill any
+        evaluated GPU).
+        """
+        regions: Dict[str, Region] = {}
+        next_page = 0
+        for structure in self.structures:
+            pages = max(1, round(structure.pages * scale))
+            regions[structure.name] = Region(
+                structure.name, next_page, pages
+            )
+            next_page += pages
+        return regions
+
+    def instantiate(self, gpu: GPUConfig) -> Workload:
+        """Bind to a GPU config: lay out memory and compile kernels."""
+        regions = self.layout(scale=gpu.num_sms / self.REFERENCE_SMS)
+        compiled: List[CompiledKernel] = []
+        for spec in self.kernels:
+            # PTX identifiers cannot start with a digit (e.g. "2MM").
+            ptx_text = spec.ptx or synthesize_ptx(
+                f"k_{self.abbr.lower()}_{spec.name}",
+                spec.reads, spec.writes, spec.atomics,
+            )
+            kernel_ir = parse_kernel(ptx_text)
+            annotation = mark_read_only(kernel_ir)
+            num_ctas = max(1, spec.ctas_per_sm * gpu.num_sms)
+            context = KernelContext(
+                regions=regions,
+                num_ctas=num_ctas,
+                warps_per_cta=spec.warps_per_cta,
+                seed=self.seed,
+                params=dict(self.params),
+            )
+            body = spec.body
+            compiled.append(
+                CompiledKernel(
+                    name=f"{self.abbr}:{spec.name}",
+                    num_ctas=num_ctas,
+                    warps_per_cta=spec.warps_per_cta,
+                    warp_factory=(
+                        lambda cta, warp, _body=body, _ctx=context:
+                        _body(_ctx, cta, warp)
+                    ),
+                    read_only_spaces=annotation.read_only_spaces,
+                    rewritten_loads=annotation.rewritten_loads,
+                )
+            )
+        return Workload(self, gpu, regions, compiled)

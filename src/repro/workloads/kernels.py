@@ -1,0 +1,129 @@
+"""Hand-written mini-PTX kernels.
+
+Most benchmarks use straight-line PTX synthesised from their read/write
+sets (:func:`repro.workloads.benchmark.synthesize_ptx`); the kernels here
+are hand-written with loops, predicates, shared-memory staging and
+pointer arithmetic, so the data-flow analysis is exercised on code shaped
+like real nvcc output (Section 5.2). The analysis must reach the same
+read-only conclusions on both forms.
+"""
+
+#: Tiled matrix multiply (the 2MM/SGEMM/MM shape): loads A and B through
+#: offset arithmetic inside a tile loop, stages B tiles in shared memory,
+#: writes only C. A and B must be proven read-only.
+GEMM_PTX = """
+.visible .entry k_gemm_tiled(
+    .param .u64 a,
+    .param .u64 b,
+    .param .u64 c
+)
+{
+    ld.param.u64 %rd1, [a];
+    ld.param.u64 %rd2, [b];
+    ld.param.u64 %rd3, [c];
+    cvta.to.global.u64 %rga, %rd1;
+    cvta.to.global.u64 %rgb, %rd2;
+    cvta.to.global.u64 %rgc, %rd3;
+    mov.u32 %rtile, 0;
+    mov.f32 %facc, 0f00000000;
+TILE_LOOP:
+    // Advance the A and B cursors by the tile stride.
+    mul.wide.u32 %roff, %rtile, 128;
+    add.u64 %rpa, %rga, %roff;
+    add.u64 %rpb, %rgb, %roff;
+    ld.global.f32 %fa, [%rpa+0];
+    ld.global.f32 %fb, [%rpb+0];
+    // Stage the B element in shared memory (not a global store).
+    st.shared.f32 [%rshared], %fb;
+    ld.shared.f32 %fbs, [%rshared];
+    fma.rn.f32 %facc, %fa, %fbs, %facc;
+    add.u32 %rtile, %rtile, 1;
+    setp.lt.u32 %p1, %rtile, 6;
+    bra TILE_LOOP;
+    // Epilogue: write the accumulated C element.
+    st.global.f32 [%rgc+4], %facc;
+    ret;
+}
+"""
+
+#: Streaming stencil update (the LBM shape): reads cells, writes the
+#: ping-pong output through an offset pointer, reads a small flag table.
+LBM_PTX = """
+.visible .entry k_lbm_stream(
+    .param .u64 data,
+    .param .u64 out,
+    .param .u64 shared
+)
+{
+    ld.param.u64 %rd1, [data];
+    ld.param.u64 %rd2, [out];
+    ld.param.u64 %rd3, [shared];
+    cvta.to.global.u64 %rgi, %rd1;
+    cvta.to.global.u64 %rgo, %rd2;
+    cvta.to.global.u64 %rgf, %rd3;
+    mov.u32 %ri, 0;
+CELL_LOOP:
+    mul.wide.u32 %roff, %ri, 4;
+    add.u64 %rpi, %rgi, %roff;
+    add.u64 %rpo, %rgo, %roff;
+    ld.global.f32 %f0, [%rpi+0];
+    ld.global.f32 %f1, [%rpi+4];
+    ld.global.f32 %f2, [%rpi+8];
+    ld.global.u32 %rflag, [%rgf];
+    setp.eq.u32 %p2, %rflag, 0;
+    add.f32 %f3, %f0, %f1;
+    add.f32 %f3, %f3, %f2;
+    st.global.f32 [%rpo+0], %f3;
+    add.u32 %ri, %ri, 1;
+    setp.lt.u32 %p1, %ri, 256;
+    bra CELL_LOOP;
+    ret;
+}
+"""
+
+#: Irregular gather with an atomic reduction (the PVC/WC shape): loads
+#: keys through a loaded index (pointer chasing -> conservative), writes
+#: per-CTA output, atomically bumps shared counters.
+MAPREDUCE_PTX = """
+.visible .entry k_mapreduce(
+    .param .u64 data,
+    .param .u64 out,
+    .param .u64 shared,
+    .param .u64 counters
+)
+{
+    ld.param.u64 %rd1, [data];
+    ld.param.u64 %rd2, [out];
+    ld.param.u64 %rd3, [shared];
+    ld.param.u64 %rd4, [counters];
+    cvta.to.global.u64 %rgd, %rd1;
+    cvta.to.global.u64 %rgo, %rd2;
+    cvta.to.global.u64 %rgs, %rd3;
+    cvta.to.global.u64 %rgk, %rd4;
+    mov.u32 %ri, 0;
+SCAN_LOOP:
+    // Load an index from the dictionary, then gather through it.
+    ld.global.u32 %ridx, [%rgs];
+    mul.wide.u32 %roff, %ridx, 4;
+    add.u64 %rp, %rgd, %roff;
+    ld.global.f32 %fv, [%rp];
+    st.global.f32 [%rgo+0], %fv;
+    atom.global.add.u32 %rold, [%rgk], %ri;
+    add.u32 %ri, %ri, 1;
+    setp.lt.u32 %p1, %ri, 64;
+    bra SCAN_LOOP;
+    ret;
+}
+"""
+
+#: Every hand-written kernel with the read-only set the analysis must
+#: find (ground truth used by the tests and the suite wiring). Note
+#: mapreduce: the gather goes through a *loaded* index (TOP provenance),
+#: but read-only-ness is about writes -- data and the dictionary are
+#: never stored to, so they are still soundly read-only; only the load
+#: through the unknown pointer itself cannot be rewritten.
+HAND_WRITTEN = {
+    "gemm": (GEMM_PTX, {"a", "b"}),
+    "lbm": (LBM_PTX, {"data", "shared"}),
+    "mapreduce": (MAPREDUCE_PTX, {"data", "shared"}),
+}

@@ -1,0 +1,490 @@
+"""The Table 2 benchmark suite as synthetic workloads.
+
+Each of the paper's 29 benchmarks is expressed as one of seven pattern
+archetypes (streaming, irregular-private, irregular-shared, stencil,
+GEMM, group-shared, DNN layer) with page counts *calibrated against the
+simulated LLC capacity* so the footprint-to-LLC ratios of Table 2 are
+preserved: the default experiment configuration
+(:func:`repro.config.presets.small_config`) has a 128-page LLC (16 pages
+per partition), so e.g. AlexNet's small read-only weight set becomes a
+handful of pages (replication fits and pays off) while B+tree's 36 MB
+read-only key set becomes ~10x the per-partition LLC (replication
+thrashes), mirroring the Figure 12 outcomes.
+
+``mb``/``ro_shared_mb`` record the original Table 2 footprints for
+reporting (the Table 2 bench target prints them alongside the scaled
+page counts).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List
+
+from repro.sm.warp import Compute, Instruction
+from repro.workloads import patterns
+from repro.workloads.kernels import GEMM_PTX, LBM_PTX, MAPREDUCE_PTX
+from repro.workloads.benchmark import (
+    Benchmark,
+    KernelContext,
+    KernelSpec,
+    StructureSpec,
+)
+
+
+def _chain(*generators: Iterator[Instruction]) -> Iterator[Instruction]:
+    for generator in generators:
+        yield from generator
+
+
+# ----------------------------------------------------------------------
+# Archetype warp bodies (driven by ctx.params).
+# ----------------------------------------------------------------------
+
+def _streaming_body(ctx: KernelContext, cta: int, warp: int):
+    p = ctx.params
+    out = ctx.regions.get("out")
+    streams = patterns.stream_private(
+        ctx.region("data"), cta, warp, ctx.num_ctas, ctx.warps_per_cta,
+        lines=int(p["lines"]), compute=int(p.get("compute", 1)),
+        out=out, store_every=int(p.get("store_every", 8)),
+        passes=int(p.get("passes", 1)),
+    )
+    if "shared" in ctx.regions and p.get("shared_lines", 0):
+        return _chain(
+            patterns.broadcast_shared(
+                ctx.region("shared"), cta, warp, ctx.warps_per_cta,
+                lines=int(p["shared_lines"]),
+                compute=int(p.get("compute", 1)),
+            ),
+            streams,
+        )
+    return streams
+
+
+def _irregular_private_body(ctx: KernelContext, cta: int, warp: int):
+    p = ctx.params
+    gens = [
+        patterns.irregular_private(
+            ctx.region("data"), cta, warp, ctx.num_ctas,
+            accesses=int(p["accesses"]), seed=ctx.seed,
+            lines_per_access=int(p.get("lines_per_access", 2)),
+            compute=int(p.get("compute", 1)),
+            counters=ctx.regions.get("counters"),
+            atomic_every=int(p.get("atomic_every", 8)),
+        )
+    ]
+    if "shared" in ctx.regions and p.get("shared_lines", 0):
+        gens.insert(0, patterns.broadcast_shared(
+            ctx.region("shared"), cta, warp, ctx.warps_per_cta,
+            lines=int(p["shared_lines"]),
+        ))
+    return _chain(*gens)
+
+
+def _irregular_shared_body(ctx: KernelContext, cta: int, warp: int):
+    p = ctx.params
+    gens = [
+        patterns.irregular_shared(
+            ctx.region("shared"), cta, warp,
+            accesses=int(p["accesses"]), seed=ctx.seed,
+            lines_per_access=int(p.get("lines_per_access", 1)),
+            compute=int(p.get("compute", 1)),
+            barrier_every=int(p.get("barrier_every", 0)),
+        )
+    ]
+    if "data" in ctx.regions and p.get("lines", 0):
+        gens.append(patterns.stream_private(
+            ctx.region("data"), cta, warp, ctx.num_ctas, ctx.warps_per_cta,
+            lines=int(p["lines"]), out=ctx.regions.get("out"),
+            store_every=int(p.get("store_every", 8)),
+        ))
+    return _chain(*gens)
+
+
+def _stencil_body(ctx: KernelContext, cta: int, warp: int):
+    p = ctx.params
+    return patterns.stencil(
+        ctx.region("data"), ctx.region("out"), cta, warp,
+        ctx.num_ctas, ctx.warps_per_cta,
+        lines=int(p["lines"]), halo_every=int(p.get("halo_every", 16)),
+        compute=int(p.get("compute", 2)),
+    )
+
+
+def _gemm_body(ctx: KernelContext, cta: int, warp: int):
+    p = ctx.params
+    return patterns.gemm_like(
+        ctx.region("a"), ctx.region("b"), ctx.region("c"),
+        cta, warp, ctx.num_ctas, ctx.warps_per_cta,
+        tiles=int(p["tiles"]), tile_lines=int(p["tile_lines"]),
+        compute=int(p.get("compute", 2)),
+    )
+
+
+def _gemm2_body(ctx: KernelContext, cta: int, warp: int):
+    """Second kernel of 2MM: reads the first kernel's output (c)."""
+    p = ctx.params
+    return patterns.gemm_like(
+        ctx.region("c"), ctx.region("b2"), ctx.region("e"),
+        cta, warp, ctx.num_ctas, ctx.warps_per_cta,
+        tiles=int(p["tiles"]), tile_lines=int(p["tile_lines"]),
+        compute=int(p.get("compute", 2)),
+    )
+
+
+def _group_shared_body(ctx: KernelContext, cta: int, warp: int):
+    p = ctx.params
+    return patterns.group_shared(
+        ctx.region("data"), ctx.region("shared"), cta, warp,
+        ctx.num_ctas, group_size=int(p.get("group_size", 8)),
+        lines=int(p["lines"]), seed=ctx.seed,
+        compute=int(p.get("compute", 1)),
+    )
+
+
+def _dnn_body(ctx: KernelContext, cta: int, warp: int):
+    p = ctx.params
+    return patterns.dnn_layer(
+        ctx.region("weights"), ctx.region("acts"), ctx.region("out"),
+        cta, warp, ctx.num_ctas, ctx.warps_per_cta,
+        lines=int(p["lines"]), reuse=int(p.get("reuse", 4)),
+        compute=int(p.get("compute", 2)),
+    )
+
+
+def _kmeans_update_body(ctx: KernelContext, cta: int, warp: int):
+    """KMEANS kernel 2: recompute centroids.
+
+    Reads each CTA's points and *writes* the centroid table -- the
+    structure that was read-only in kernel 1. This is the cross-kernel
+    read-only flip of Section 5.2 that forces the LLC flush at kernel
+    boundaries when replication is enabled (Section 5.3).
+    """
+    data = ctx.region("data").slab(cta, ctx.num_ctas)
+    shared = ctx.region("shared")
+    base = warp * 32
+    for i in range(0, 32, 4):
+        yield patterns._vload(data, base + i, 4)
+        yield patterns._vstore(shared, (cta + i) % (shared.pages * 32), 1)
+        yield Compute(2)
+
+
+def _bp_backward_body(ctx: KernelContext, cta: int, warp: int):
+    """Backprop kernel 2: backward pass.
+
+    Reads the forward activations (written by kernel 1, read-only here)
+    and writes weight gradients into the input structure -- the opposite
+    read-only flip to KMEANS.
+    """
+    out = ctx.region("out").slab(cta, ctx.num_ctas)
+    data = ctx.region("data").slab(cta, ctx.num_ctas)
+    base = warp * 48
+    for i in range(0, 48, 4):
+        yield patterns._vload(out, base + i, 4)
+        yield Compute(2)
+        if i % 8 == 0:
+            yield patterns._vstore(data, base + i, 1)
+
+
+# ----------------------------------------------------------------------
+# Archetype benchmark constructors.
+# ----------------------------------------------------------------------
+
+def _streaming(name, abbr, mb, ro_mb, *, data, out=0, shared=0, lines=256,
+               shared_lines=0, store_every=8, compute=1, sharing="low",
+               passes=1):
+    structures = [StructureSpec("data", data, mb=mb)]
+    reads, writes = ["data"], []
+    if out:
+        structures.append(StructureSpec("out", out, written=True))
+        writes.append("out")
+    if shared:
+        structures.append(StructureSpec("shared", shared, mb=ro_mb))
+        reads.append("shared")
+    return Benchmark(
+        name=name, abbr=abbr, sharing=sharing,
+        structures=tuple(structures),
+        kernels=(KernelSpec("main", _streaming_body,
+                            reads=tuple(reads), writes=tuple(writes)),),
+        footprint_mb=mb, ro_shared_mb=ro_mb,
+        params={"lines": lines, "shared_lines": shared_lines,
+                "store_every": store_every, "compute": compute,
+                "passes": passes},
+    )
+
+
+def _irregular_private(name, abbr, mb, ro_mb, *, data, out=0, shared=0,
+                       accesses=96, shared_lines=0, lines_per_access=4,
+                       compute=1, counters=0, atomic_every=8):
+    structures = [StructureSpec("data", data, mb=mb)]
+    reads, writes, atomics = ["data"], [], []
+    if out:
+        structures.append(StructureSpec("out", out, written=True))
+        writes.append("out")
+    if shared:
+        structures.append(StructureSpec("shared", shared, mb=ro_mb))
+        reads.append("shared")
+    if counters:
+        # Globally shared reduction buckets updated with atomics
+        # (MapReduce-style workloads).
+        structures.append(StructureSpec("counters", counters, written=True))
+        atomics.append("counters")
+    return Benchmark(
+        name=name, abbr=abbr, sharing="low",
+        structures=tuple(structures),
+        kernels=(KernelSpec("main", _irregular_private_body,
+                            reads=tuple(reads), writes=tuple(writes),
+                            atomics=tuple(atomics)),),
+        footprint_mb=mb, ro_shared_mb=ro_mb,
+        params={"accesses": accesses, "shared_lines": shared_lines,
+                "lines_per_access": lines_per_access, "compute": compute,
+                "atomic_every": atomic_every},
+    )
+
+
+def _irregular_shared(name, abbr, mb, ro_mb, *, shared, data=0, out=0,
+                      accesses=96, lines=0, lines_per_access=4, compute=1,
+                      barrier_every=0):
+    structures = [StructureSpec("shared", shared, mb=ro_mb)]
+    reads, writes = ["shared"], []
+    if data:
+        structures.append(StructureSpec("data", data))
+        reads.append("data")
+    if out:
+        structures.append(StructureSpec("out", out, written=True))
+        writes.append("out")
+    return Benchmark(
+        name=name, abbr=abbr, sharing="high",
+        structures=tuple(structures),
+        kernels=(KernelSpec("main", _irregular_shared_body,
+                            reads=tuple(reads), writes=tuple(writes)),),
+        footprint_mb=mb, ro_shared_mb=ro_mb,
+        params={"accesses": accesses, "lines": lines,
+                "lines_per_access": lines_per_access, "compute": compute,
+                "barrier_every": barrier_every},
+    )
+
+
+def _stencil(name, abbr, mb, ro_mb, *, data, out, lines=224, halo_every=16,
+             compute=2):
+    return Benchmark(
+        name=name, abbr=abbr, sharing="low",
+        structures=(
+            StructureSpec("data", data, mb=mb),
+            StructureSpec("out", out, written=True),
+        ),
+        kernels=(KernelSpec("main", _stencil_body,
+                            reads=("data",), writes=("out",)),),
+        footprint_mb=mb, ro_shared_mb=ro_mb,
+        params={"lines": lines, "halo_every": halo_every,
+                "compute": compute},
+    )
+
+
+def _gemm(name, abbr, mb, ro_mb, *, a, b, c, tiles=6, tile_lines=24,
+          compute=2, two_mm=False, b2=0, e=0):
+    structures = [
+        StructureSpec("a", a),
+        StructureSpec("b", b, mb=ro_mb),
+        StructureSpec("c", c, written=True),
+    ]
+    # The first kernel carries hand-written tiled-GEMM PTX (loops,
+    # shared-memory staging); later kernels use synthesised PTX.
+    kernels = [KernelSpec("mm1", _gemm_body,
+                          reads=("a", "b"), writes=("c",),
+                          ptx=GEMM_PTX if two_mm else None)]
+    if two_mm:
+        structures.append(StructureSpec("b2", b2, mb=ro_mb))
+        structures.append(StructureSpec("e", e, written=True))
+        # Kernel 2 reads c: read-write in kernel 1, read-only in kernel 2
+        # -- the cross-kernel case Section 5.2 highlights.
+        kernels.append(KernelSpec("mm2", _gemm2_body,
+                                  reads=("c", "b2"), writes=("e",)))
+    return Benchmark(
+        name=name, abbr=abbr, sharing="high",
+        structures=tuple(structures), kernels=tuple(kernels),
+        footprint_mb=mb, ro_shared_mb=ro_mb,
+        params={"tiles": tiles, "tile_lines": tile_lines,
+                "compute": compute},
+    )
+
+
+def _group(name, abbr, mb, ro_mb, *, data, shared, lines=224, group_size=8,
+           compute=1):
+    return Benchmark(
+        name=name, abbr=abbr, sharing="high",
+        structures=(
+            StructureSpec("data", data, mb=mb),
+            StructureSpec("shared", shared, mb=ro_mb),
+        ),
+        kernels=(KernelSpec("main", _group_shared_body,
+                            reads=("data", "shared"), writes=()),),
+        footprint_mb=mb, ro_shared_mb=ro_mb,
+        params={"lines": lines, "group_size": group_size,
+                "compute": compute},
+    )
+
+
+def _dnn(name, abbr, mb, ro_mb, *, weights, acts, out, lines=64, reuse=4,
+         compute=2):
+    return Benchmark(
+        name=name, abbr=abbr, sharing="high",
+        structures=(
+            StructureSpec("weights", weights, mb=ro_mb),
+            StructureSpec("acts", acts, mb=mb),
+            StructureSpec("out", out, written=True),
+        ),
+        kernels=(KernelSpec("layer", _dnn_body,
+                            reads=("weights", "acts"), writes=("out",)),),
+        footprint_mb=mb, ro_shared_mb=ro_mb,
+        params={"lines": lines, "reuse": reuse, "compute": compute},
+    )
+
+
+# ----------------------------------------------------------------------
+# The Table 2 catalogue.
+# ----------------------------------------------------------------------
+
+def _build_suite() -> List[Benchmark]:
+    return [
+        # -- low sharing ------------------------------------------------
+        _streaming("LavaMD", "LAVAMD", 7, 0.9,
+                   data=128, out=24, shared=4, lines=112, shared_lines=48,
+                   passes=2),
+        _streaming("Lattice-Boltzmann", "LBM", 389, 33,
+                   data=192, out=96, shared=8, lines=256, shared_lines=32,
+                   store_every=2),
+        _streaming("DWT2D", "DWT2D", 302, 0.01,
+                   data=128, out=32, lines=112, store_every=4, passes=2),
+        _streaming("Kmeans", "KMEANS", 136, 0.1,
+                   data=128, out=32, shared=2, lines=112, shared_lines=64,
+                   passes=3),
+        _irregular_private("Page View Count", "PVC", 1081, 0.6,
+                           data=192, out=32, shared=4, accesses=48,
+                           shared_lines=32, counters=2),
+        _streaming("Black-Scholes", "BH", 48, 5.3,
+                   data=128, out=32, shared=8, lines=96, shared_lines=80,
+                   store_every=16, passes=2),
+        _irregular_private("Wordcount", "WC", 542, 0.9,
+                           data=160, out=24, shared=4, accesses=48,
+                           shared_lines=24, counters=2),
+        _streaming("Stringmatch", "SM", 146, 1.2,
+                   data=128, shared=4, lines=112, shared_lines=64, passes=3),
+        _stencil("2DConvolution", "2DCONV", 1074, 17,
+                 data=160, out=80, lines=224),
+        _irregular_private("Mvt", "MVT", 6443, 0.1,
+                           data=192, out=8, shared=2, accesses=48,
+                           shared_lines=48),
+        _streaming("FastWalshTransform", "FWT", 269, 0.01,
+                   data=128, out=32, lines=112, store_every=2, passes=2),
+        _streaming("Backprop", "BP", 75, 0.4,
+                   data=128, out=32, shared=4, lines=112, shared_lines=32,
+                   passes=2),
+        _stencil("Fdtd2D", "FTD2D", 51, 0.07,
+                 data=144, out=72, lines=192, halo_every=8, compute=3),
+        _streaming("Convolution Separable", "CONVS", 151, 20,
+                   data=128, out=32, shared=8, lines=112, shared_lines=64,
+                   passes=2),
+        _irregular_private("ATAX", "ATAX", 1342, 0.08,
+                           data=192, out=8, shared=2, accesses=48,
+                           shared_lines=48),
+        _irregular_private("Gesummv", "GESUMM", 1073, 0.1,
+                           data=224, out=8, shared=2, accesses=56,
+                           shared_lines=40, lines_per_access=3),
+        # -- high sharing -----------------------------------------------
+        _group("Streamcluster", "SC", 302, 8,
+               data=64, shared=96, lines=224, group_size=8),
+        _gemm("2MM", "2MM", 84, 6, a=32, b=10, c=16,
+              two_mm=True, b2=10, e=16, tiles=6, tile_lines=24),
+        _dnn("Leukocyte", "LEU", 2, 1,
+             weights=8, acts=16, out=8, lines=72, reuse=4),
+        _irregular_shared("B+tree", "BT", 39, 36,
+                          shared=200, out=8, accesses=56),
+        _gemm("SGemm", "SGEMM", 9, 8, a=24, b=8, c=12,
+              tiles=6, tile_lines=24),
+        _gemm("Matrixmul", "MM", 8, 7, a=20, b=6, c=10,
+              tiles=6, tile_lines=24),
+        _streaming("3DConvolution", "3DCONV", 1074, 68,
+                   data=160, out=64, shared=64, lines=192, shared_lines=96,
+                   compute=6, sharing="high"),
+        _dnn("AlexNet", "AN", 1, 0.4,
+             weights=6, acts=24, out=12, lines=64, reuse=4),
+        _dnn("SqueezeNet", "SN", 1, 0.9,
+             weights=4, acts=16, out=8, lines=64, reuse=5),
+        _dnn("ResNet", "RN", 4, 0.7,
+             weights=10, acts=24, out=12, lines=64, reuse=3),
+        _irregular_shared("Gated Recurrent Unit", "GRU", 2, 0.4,
+                          shared=44, data=16, out=8, accesses=64,
+                          lines=48),
+        _irregular_shared("Needleman-Wunsch", "NW", 16, 10,
+                          shared=40, data=16, out=16, accesses=80,
+                          lines=64, barrier_every=20),
+        _irregular_shared("BICG", "BICG", 2013, 472,
+                          shared=240, out=8, accesses=56),
+    ]
+
+
+def _add_second_kernels(suite: List[Benchmark]) -> None:
+    """KMEANS and BP are two-kernel workloads: the second kernel flips a
+    structure's read-only status, exercising the per-kernel compiler
+    analysis and the kernel-boundary coherence actions."""
+    by_abbr = {bench.abbr: bench for bench in suite}
+
+    def mark_written(bench: Benchmark, name: str) -> None:
+        bench.structures = tuple(
+            dataclasses.replace(structure, written=True)
+            if structure.name == name else structure
+            for structure in bench.structures
+        )
+
+    by_abbr["KMEANS"].kernels = by_abbr["KMEANS"].kernels + (
+        KernelSpec("update", _kmeans_update_body,
+                   reads=("data",), writes=("shared",)),
+    )
+    mark_written(by_abbr["KMEANS"], "shared")
+    by_abbr["BP"].kernels = by_abbr["BP"].kernels + (
+        KernelSpec("backward", _bp_backward_body,
+                   reads=("out",), writes=("data",)),
+    )
+    mark_written(by_abbr["BP"], "data")
+
+
+def _attach_hand_written_ptx(suite: List[Benchmark]) -> None:
+    """LBM and PVC carry hand-written PTX (loops, pointer chasing,
+    atomics) so the compiler analysis runs on nvcc-shaped code; the
+    remaining benchmarks use synthesised straight-line PTX."""
+    by_abbr = {bench.abbr: bench for bench in suite}
+    by_abbr["LBM"].kernels[0].ptx = LBM_PTX
+    by_abbr["PVC"].kernels[0].ptx = MAPREDUCE_PTX
+
+
+def _seeded_suite() -> List[Benchmark]:
+    suite = _build_suite()
+    _add_second_kernels(suite)
+    _attach_hand_written_ptx(suite)
+    for index, bench in enumerate(suite):
+        bench.seed = index + 1
+    return suite
+
+
+BENCHMARKS: Dict[str, Benchmark] = {
+    bench.abbr: bench for bench in _seeded_suite()
+}
+
+LOW_SHARING: List[str] = [
+    abbr for abbr, b in BENCHMARKS.items() if b.sharing == "low"
+]
+HIGH_SHARING: List[str] = [
+    abbr for abbr, b in BENCHMARKS.items() if b.sharing == "high"
+]
+
+
+def get_benchmark(abbr: str) -> Benchmark:
+    """Look up a Table 2 benchmark by its abbreviation."""
+    try:
+        return BENCHMARKS[abbr]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {abbr!r}; known: {sorted(BENCHMARKS)}"
+        ) from None

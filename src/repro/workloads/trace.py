@@ -1,0 +1,201 @@
+"""Workload trace recording and replay.
+
+A trace captures the exact instruction streams a workload feeds the SMs,
+in a compact line-oriented text format. Traces serve three purposes:
+
+* **interchange** -- a workload can be shared/archived without its
+  generator code (the role GPGPU-sim traces play for the paper's setup);
+* **determinism checks** -- replaying a recorded trace must reproduce
+  the original simulation cycle for cycle (tested);
+* **external workloads** -- users can hand-write or convert traces from
+  other tools and run them through the simulator.
+
+Format (one file per workload)::
+
+    # header lines
+    !kernel <name> <num_ctas> <warps_per_cta> <ro_space>,<ro_space>,...
+    !warp <cta_id> <warp_id>
+    c <cycles>                     # Compute
+    m <L|S|R|A> <space> <vpage>:<line>,<vpage>:<line>,...
+    b                              # Barrier
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterator, List, TextIO, Union
+
+from repro.sim.request import AccessKind
+from repro.sm.warp import Barrier, Compute, Instruction, MemAccess
+from repro.workloads.benchmark import CompiledKernel, Workload
+
+_KIND_CODE = {
+    AccessKind.LOAD: "L",
+    AccessKind.STORE: "S",
+    AccessKind.LOAD_RO: "R",
+    AccessKind.ATOMIC: "A",
+}
+_CODE_KIND = {code: kind for kind, code in _KIND_CODE.items()}
+
+
+def _format_instruction(instr: Instruction) -> str:
+    if isinstance(instr, Compute):
+        return f"c {instr.cycles}"
+    if isinstance(instr, Barrier):
+        return "b"
+    targets = ",".join(f"{v}:{l}" for v, l in instr.targets)
+    return f"m {_KIND_CODE[instr.kind]} {instr.space} {targets}"
+
+
+def _parse_instruction(line: str) -> Instruction:
+    if line.startswith("c "):
+        return Compute(int(line[2:]))
+    if line == "b":
+        return Barrier()
+    if line.startswith("m "):
+        _, code, space, targets_text = line.split(" ", 3)
+        targets = tuple(
+            (int(v), int(l))
+            for v, l in (pair.split(":") for pair in targets_text.split(","))
+        )
+        return MemAccess(_CODE_KIND[code], targets, space=space)
+    raise ValueError(f"unparseable trace line: {line!r}")
+
+
+def record_trace(workload: Workload, sink: Union[str, TextIO]) -> int:
+    """Write a workload's full instruction trace; returns lines written.
+
+    Generators are re-invoked per warp, so the workload must be
+    deterministic (all suite benchmarks are).
+    """
+    own = isinstance(sink, str)
+    handle = open(sink, "w") if own else sink
+    lines = 0
+    try:
+        handle.write(f"# repro trace: {workload.name}\n")
+        for kernel in workload.compiled_kernels():
+            ro = ",".join(sorted(kernel.read_only_spaces))
+            handle.write(
+                f"!kernel {kernel.name} {kernel.num_ctas} "
+                f"{kernel.warps_per_cta} {ro}\n"
+            )
+            for cta in range(kernel.num_ctas):
+                for warp in range(kernel.warps_per_cta):
+                    handle.write(f"!warp {cta} {warp}\n")
+                    for instr in kernel.warp_factory(cta, warp):
+                        handle.write(_format_instruction(instr) + "\n")
+                        lines += 1
+    finally:
+        if own:
+            handle.close()
+    return lines
+
+
+class TracedKernel:
+    """One kernel reconstructed from a trace."""
+
+    def __init__(self, name: str, num_ctas: int, warps_per_cta: int,
+                 read_only_spaces: set) -> None:
+        self.name = name
+        self.num_ctas = num_ctas
+        self.warps_per_cta = warps_per_cta
+        self.read_only_spaces = read_only_spaces
+        #: (cta, warp) -> list of instruction lines (parsed lazily).
+        self._streams: dict = {}
+
+    def add_stream(self, cta: int, warp: int, lines: List[str]) -> None:
+        """Attach one warp's recorded instruction lines."""
+        self._streams[(cta, warp)] = lines
+
+    def warp_factory(self, cta: int, warp: int) -> Iterator[Instruction]:
+        """Replay one warp's instruction stream."""
+        for line in self._streams.get((cta, warp), ()):
+            yield _parse_instruction(line)
+
+    def as_compiled(self) -> CompiledKernel:
+        """Adapt to the CompiledKernel interface."""
+        return CompiledKernel(
+            name=self.name,
+            num_ctas=self.num_ctas,
+            warps_per_cta=self.warps_per_cta,
+            warp_factory=self.warp_factory,
+            read_only_spaces=self.read_only_spaces,
+        )
+
+
+class TraceWorkload:
+    """A workload replayed from a recorded trace.
+
+    Duck-types the :class:`~repro.workloads.benchmark.Workload` interface
+    consumed by :meth:`GPUSystem.run_workload`.
+    """
+
+    def __init__(self, kernels: List[TracedKernel], name: str = "trace") -> None:
+        self._kernels = kernels
+        self.name = name
+
+    def compiled_kernels(self) -> List[CompiledKernel]:
+        """The replayed kernels, in recorded order."""
+        return [kernel.as_compiled() for kernel in self._kernels]
+
+    @classmethod
+    def load(cls, source: Union[str, TextIO]) -> "TraceWorkload":
+        own = isinstance(source, str)
+        handle = open(source) if own else source
+        try:
+            return cls._parse(handle)
+        finally:
+            if own:
+                handle.close()
+
+    @classmethod
+    def _parse(cls, handle: TextIO) -> "TraceWorkload":
+        kernels: List[TracedKernel] = []
+        name = "trace"
+        current_kernel: TracedKernel = None
+        current_stream: List[str] = []
+        current_warp = None
+
+        def flush_stream():
+            if current_kernel is not None and current_warp is not None:
+                current_kernel.add_stream(*current_warp, current_stream)
+
+        for raw in handle:
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                name = line.lstrip("# ").replace("repro trace: ", "")
+                continue
+            if line.startswith("!kernel "):
+                flush_stream()
+                current_warp, current_stream = None, []
+                _, kname, ctas, warps, ro = (line.split(" ", 4) + [""])[:5]
+                spaces = set(filter(None, ro.split(",")))
+                current_kernel = TracedKernel(
+                    kname, int(ctas), int(warps), spaces
+                )
+                kernels.append(current_kernel)
+                continue
+            if line.startswith("!warp "):
+                flush_stream()
+                _, cta, warp = line.split(" ")
+                current_warp = (int(cta), int(warp))
+                current_stream = []
+                continue
+            if current_kernel is None or current_warp is None:
+                raise ValueError("trace body before !kernel/!warp header")
+            _parse_instruction(line)  # validate eagerly
+            current_stream.append(line)
+        flush_stream()
+        if not kernels:
+            raise ValueError("empty trace")
+        return cls(kernels, name=name)
+
+
+def round_trip(workload: Workload) -> TraceWorkload:
+    """Record and immediately reload a workload (testing helper)."""
+    buffer = io.StringIO()
+    record_trace(workload, buffer)
+    buffer.seek(0)
+    return TraceWorkload.load(buffer)

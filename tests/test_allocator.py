@@ -1,0 +1,159 @@
+"""Page-allocation policy tests (Section 4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config.topology import PagePolicy
+from repro.driver.allocator import (
+    FirstTouchAllocator,
+    LABAllocator,
+    LeastFirstAllocator,
+    RoundRobinAllocator,
+    make_allocator,
+    normalized_page_balance,
+)
+
+#: 8 channels; SMs 0-15 map two per channel (small-config layout).
+HOMES = [sm // 2 for sm in range(16)]
+
+
+class TestNPB:
+    """Equation 1 properties."""
+
+    def test_perfectly_balanced(self):
+        assert normalized_page_balance([5, 5, 5, 5]) == 1.0
+
+    def test_fully_skewed(self):
+        assert normalized_page_balance([8, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty_is_balanced(self):
+        assert normalized_page_balance([0, 0]) == 1.0
+
+    def test_paper_example_range(self):
+        # NPB is between 1/n and 1 (Section 4).
+        value = normalized_page_balance([3, 1, 2, 0])
+        assert 0.25 <= value <= 1.0
+
+    def test_rejects_no_channels(self):
+        with pytest.raises(ValueError):
+            normalized_page_balance([])
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=1, max_size=32))
+    def test_bounds_hold(self, pages):
+        value = normalized_page_balance(pages)
+        n = len(pages)
+        assert 1.0 / n <= value + 1e-12
+        assert value <= 1.0 + 1e-12
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=1, max_size=32),
+           st.floats(min_value=0.0, max_value=64.0))
+    def test_smoothing_pulls_toward_one(self, pages, smoothing):
+        raw = normalized_page_balance(pages)
+        smoothed = normalized_page_balance(pages, smoothing=smoothing)
+        assert smoothed >= raw - 1e-12
+        assert smoothed <= 1.0 + 1e-12
+
+
+class TestFirstTouch:
+    def test_places_locally(self):
+        alloc = FirstTouchAllocator(8, HOMES)
+        assert alloc.allocate(vpage=0, sm_id=0) == 0
+        assert alloc.allocate(vpage=1, sm_id=15) == 7
+
+    def test_pathological_skew(self):
+        """All faults from one SM pile onto one channel (the high-sharing
+        pathology LAB fixes)."""
+        alloc = FirstTouchAllocator(8, HOMES)
+        for vpage in range(40):
+            alloc.allocate(vpage, sm_id=0)
+        assert alloc.pages_per_channel[0] == 40
+        assert alloc.balance == pytest.approx(1 / 8, abs=0.01)
+
+
+class TestRoundRobin:
+    def test_even_distribution(self):
+        alloc = RoundRobinAllocator(8, HOMES)
+        for vpage in range(24):
+            alloc.allocate(vpage, sm_id=0)
+        assert alloc.pages_per_channel == [3] * 8
+        assert alloc.balance == 1.0
+
+
+class TestLeastFirst:
+    def test_fills_lowest(self):
+        alloc = LeastFirstAllocator(4, HOMES)
+        alloc.pages_per_channel = [5, 1, 3, 1]
+        assert alloc.choose_channel(0, 0) == 1  # lowest count, lowest index
+
+
+class TestLAB:
+    def test_local_while_balanced(self):
+        alloc = LABAllocator(8, HOMES, threshold=0.9)
+        # Balanced faulting pattern: stays first-touch throughout.
+        for vpage in range(64):
+            sm = (vpage * 2) % 16
+            channel = alloc.allocate(vpage, sm)
+            assert channel == HOMES[sm]
+        assert alloc.balancing_placements == 0
+
+    def test_balances_under_skew(self):
+        alloc = LABAllocator(8, HOMES, threshold=0.9)
+        for vpage in range(200):
+            alloc.allocate(vpage, sm_id=0)  # all faults from channel 0
+        counts = alloc.pages_per_channel
+        # The skew must be bounded: least-first redirects the overflow.
+        assert max(counts) - min(counts) <= LABAllocator.NPB_SMOOTHING
+        assert alloc.balancing_placements > 0
+
+    def test_reverts_to_first_touch_when_balanced_again(self):
+        alloc = LABAllocator(8, HOMES, threshold=0.9)
+        for vpage in range(100):
+            alloc.allocate(vpage, sm_id=0)
+        balancing_before = alloc.balancing_placements
+        # Now balanced faulting: should be local again quickly.
+        for vpage in range(100, 140):
+            alloc.allocate(vpage, (vpage * 2) % 16)
+        assert alloc.local_placements > 0
+        # Balancing may continue briefly but must not dominate.
+        assert alloc.balancing_placements - balancing_before < 40
+
+    def test_release_and_record_foreign(self):
+        alloc = LABAllocator(4, HOMES[:8])
+        alloc.allocate(0, 0)
+        alloc.release(0)
+        assert alloc.pages_per_channel[0] == 0
+        alloc.record_foreign(2)
+        assert alloc.pages_per_channel[2] == 1
+
+    def test_release_empty_channel_rejected(self):
+        alloc = LABAllocator(4, HOMES[:8])
+        with pytest.raises(ValueError):
+            alloc.release(0)
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            LABAllocator(4, HOMES[:8], threshold=0.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=15),
+                    min_size=1, max_size=300))
+    def test_lab_never_collapses_balance(self, sms):
+        """Whatever the fault pattern, LAB keeps NPB above ~threshold
+        after enough pages (its entire purpose)."""
+        alloc = LABAllocator(8, HOMES, threshold=0.9)
+        for vpage, sm in enumerate(sms):
+            alloc.allocate(vpage, sm)
+        if alloc.allocations >= 100:
+            assert alloc.smoothed_balance >= 0.85
+
+
+class TestFactory:
+    def test_all_policies_constructible(self):
+        for policy in PagePolicy:
+            alloc = make_allocator(policy, 8, HOMES)
+            assert alloc.num_channels == 8
+
+    def test_lab_threshold_passed_through(self):
+        alloc = make_allocator(PagePolicy.LAB, 8, HOMES, lab_threshold=0.8)
+        assert alloc.threshold == 0.8

@@ -1,0 +1,179 @@
+"""Routing unit tests for the three system builders.
+
+These verify the architecture-specific request paths at the sink level,
+including port clustering (Section 2) and the per-partition NoC port
+spreading NUBA uses.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config.presets import small_config
+from repro.config.topology import Architecture, ReplicationPolicy, TopologySpec
+from repro.core.builders import (
+    MemSideUBASystem,
+    NUBASystem,
+    SMSideUBASystem,
+    build_system,
+)
+from repro.sim.request import AccessKind, MemoryRequest
+
+GPU = small_config()  # 16 SMs, 16 slices, 8 channels
+
+
+def _system(arch, cluster=1):
+    gpu = GPU
+    if cluster != 1:
+        gpu = replace(gpu, noc=gpu.noc.with_cluster(cluster))
+    topo = TopologySpec(architecture=arch,
+                        replication=ReplicationPolicy.MDR)
+    return build_system(gpu, topo)
+
+
+class TestFactory:
+    def test_types(self):
+        assert isinstance(
+            _system(Architecture.MEM_SIDE_UBA), MemSideUBASystem
+        )
+        assert isinstance(
+            _system(Architecture.SM_SIDE_UBA), SMSideUBASystem
+        )
+        assert isinstance(_system(Architecture.NUBA), NUBASystem)
+
+
+class TestMemSidePorts:
+    def test_unclustered_ports(self):
+        system = _system(Architecture.MEM_SIDE_UBA)
+        assert system.noc.ports == GPU.num_sms + GPU.num_llc_slices
+        assert system._sm_port(5) == 5
+        assert system._slice_port(3) == GPU.num_sms + 3
+
+    def test_clustered_ports(self):
+        system = _system(Architecture.MEM_SIDE_UBA, cluster=2)
+        assert system.noc.ports == (GPU.num_sms + GPU.num_llc_slices) // 2
+        assert system._sm_port(5) == 2
+        assert system._slice_port(3) == GPU.num_sms // 2 + 1
+
+    def test_slice_sink_dispatches_by_home(self):
+        system = _system(Architecture.MEM_SIDE_UBA, cluster=2)
+        request = MemoryRequest(AccessKind.LOAD, 0, sm_id=0)
+        request.home_slice = 7
+        assert system._noc_slice_sink(request)
+        assert len(system.slices[7].rmr) == 1
+
+
+class TestNUBAPorts:
+    def test_partition_port_spreads_by_home_slice(self):
+        system = _system(Architecture.NUBA)
+        # Partition 3's two slice ports are 6 and 7; traffic about an
+        # even home slice uses the first, odd the second.
+        assert system._partition_port(3, 0) == 6
+        assert system._partition_port(3, 1) == 7
+
+    def test_clustered_partition_port(self):
+        system = _system(Architecture.NUBA, cluster=2)
+        assert system.noc.ports == GPU.num_llc_slices // 2
+        assert system._partition_port(3, 0) == 3
+        assert system._partition_port(3, 1) == 3
+
+    def test_replica_slice_is_a_slice_id_not_a_port(self):
+        system = _system(Architecture.NUBA, cluster=2)
+        request = MemoryRequest(AccessKind.LOAD_RO, 0, sm_id=10)
+        request.src_partition = 5
+        request.home_slice = 1
+        # Partition 5's slices are 10 and 11; home%2 = 1 -> slice 11.
+        assert system._replica_slice(request) == 11
+
+    def test_noc_delivery_request_to_home_slice(self):
+        system = _system(Architecture.NUBA)
+        request = MemoryRequest(AccessKind.LOAD, 0, sm_id=0)
+        request.home_slice = 9
+        request.is_reply = False
+        assert system._noc_delivery(request)
+        assert len(system.slices[9].rmr) == 1
+
+    def test_noc_delivery_replica_reply_fills_local_slice(self):
+        system = _system(Architecture.NUBA)
+        request = MemoryRequest(AccessKind.LOAD_RO, 0, sm_id=4)
+        request.src_partition = 2
+        request.home_slice = 15
+        request.is_reply = True
+        request.is_replica_access = True
+        assert system._noc_delivery(request)
+        replica = system._replica_slice(request)  # partition 2, slice 5
+        assert replica == 5
+        assert len(system.slices[5].fill_queue) == 1
+
+
+class TestNUBARouting:
+    def _request(self, system, sm_id, vpage, kind=AccessKind.LOAD):
+        # Fault the page from this SM so the home partition is known.
+        frame = system.driver.handle_fault(vpage, sm_id)
+        line = system.address_map.line_addr(frame, 0)
+        request = MemoryRequest(kind, line, sm_id=sm_id, vpage=vpage)
+        return request
+
+    def test_local_request_marked_local(self):
+        system = _system(Architecture.NUBA)
+        request = self._request(system, sm_id=0, vpage=1)
+        assert system._sm_request_sink(request)
+        assert request.is_local
+        assert request.home_partition == 0
+
+    def test_remote_request_not_local(self):
+        system = _system(Architecture.NUBA)
+        # Page faulted by SM 14 (partition 7); then SM 0 accesses it.
+        request = self._request(system, sm_id=14, vpage=2)
+        request.sm_id = 0
+        assert system._sm_request_sink(request)
+        assert not request.is_local
+        assert request.home_partition == 7
+
+    def test_read_only_remote_becomes_replica_when_mdr_on(self):
+        system = _system(Architecture.NUBA)
+        system.mdr.replicate = True
+        request = self._request(system, sm_id=14, vpage=3,
+                                kind=AccessKind.LOAD_RO)
+        request.sm_id = 0
+        assert system._sm_request_sink(request)
+        assert request.is_replica_access
+        assert request.is_local  # tentatively, until a replica miss
+
+    def test_read_only_remote_stays_remote_when_mdr_off(self):
+        system = _system(Architecture.NUBA)
+        system.mdr.replicate = False
+        request = self._request(system, sm_id=14, vpage=4,
+                                kind=AccessKind.LOAD_RO)
+        request.sm_id = 0
+        assert system._sm_request_sink(request)
+        assert not request.is_replica_access
+
+
+class TestSMSideRouting:
+    def test_slice_hash_stays_on_side(self):
+        system = _system(Architecture.SM_SIDE_UBA)
+        for line in range(0, 4096, 61):
+            for side in (0, 1):
+                slice_id = system._slice_for(line, side)
+                assert slice_id // system.slices_per_side == side
+
+    def test_store_probes_mirror_for_invalidation(self):
+        system = _system(Architecture.SM_SIDE_UBA)
+        line = 12345
+        # Cache the line on side 1's slice, then store from side 0.
+        mirror = system._slice_for(line, 1)
+        system.slices[mirror].array.install(line)
+        request = MemoryRequest(AccessKind.STORE, line, sm_id=0)
+        request.home_slice = system.address_map.slice_of_line(line)
+        request.home_channel = system.address_map.channel_of_line(line)
+        system._route_request(request)
+        assert system.invalidations_sent == 1
+
+    def test_store_skips_uncached_mirror(self):
+        system = _system(Architecture.SM_SIDE_UBA)
+        request = MemoryRequest(AccessKind.STORE, 999, sm_id=0)
+        request.home_slice = system.address_map.slice_of_line(999)
+        request.home_channel = system.address_map.channel_of_line(999)
+        system._route_request(request)
+        assert system.invalidations_sent == 0

@@ -1,0 +1,136 @@
+"""Cache array tests, including a property-based LRU model check."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.sram import CacheArray
+
+
+class TestCacheArrayBasics:
+    def test_miss_then_hit(self):
+        array = CacheArray(sets=4, ways=2)
+        assert not array.lookup(0)
+        array.install(0)
+        assert array.lookup(0)
+
+    def test_lru_eviction_order(self):
+        array = CacheArray(sets=1, ways=2)
+        array.install(0)
+        array.install(1)
+        victim = array.install(2)  # evicts 0 (least recently used)
+        assert victim.line_addr == 0
+        assert array.probe(1) and array.probe(2)
+
+    def test_lookup_refreshes_lru(self):
+        array = CacheArray(sets=1, ways=2)
+        array.install(0)
+        array.install(1)
+        array.lookup(0)  # 1 is now LRU
+        victim = array.install(2)
+        assert victim.line_addr == 1
+
+    def test_dirty_bit_on_install(self):
+        array = CacheArray(sets=1, ways=1)
+        array.install(0, dirty=True)
+        victim = array.install(1)
+        assert victim.dirty
+
+    def test_mark_dirty_on_lookup(self):
+        array = CacheArray(sets=1, ways=1)
+        array.install(0, dirty=False)
+        array.lookup(0, mark_dirty=True)
+        victim = array.install(1)
+        assert victim.dirty
+
+    def test_reinstall_keeps_dirty(self):
+        array = CacheArray(sets=1, ways=2)
+        array.install(0, dirty=True)
+        assert array.install(0, dirty=False) is None
+        victim = array.install(1)
+        assert victim is None
+        victim = array.install(2)
+        assert victim.line_addr == 0 and victim.dirty
+
+    def test_invalidate(self):
+        array = CacheArray(sets=2, ways=1)
+        array.install(0)
+        assert array.invalidate(0)
+        assert not array.probe(0)
+        assert not array.invalidate(0)
+
+    def test_flush_returns_dirty_lines(self):
+        array = CacheArray(sets=2, ways=2)
+        array.install(0, dirty=True)
+        array.install(1, dirty=False)
+        array.install(2, dirty=True)
+        dirty = array.flush()
+        assert {d.line_addr for d in dirty} == {0, 2}
+        assert array.occupancy == 0
+
+    def test_set_isolation(self):
+        array = CacheArray(sets=2, ways=1)
+        array.install(0)  # set 0
+        array.install(1)  # set 1
+        assert array.probe(0) and array.probe(1)
+
+    def test_hit_rate(self):
+        array = CacheArray(sets=1, ways=1)
+        array.lookup(0)
+        array.install(0)
+        array.lookup(0)
+        assert array.hit_rate == pytest.approx(0.5)
+
+    def test_probe_does_not_affect_stats_or_lru(self):
+        array = CacheArray(sets=1, ways=2)
+        array.install(0)
+        array.install(1)
+        array.probe(0)  # must NOT refresh 0
+        victim = array.install(2)
+        assert victim.line_addr == 0
+        assert array.hits == 0 and array.misses == 0
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CacheArray(0, 4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["lookup", "install"]),
+                  st.integers(min_value=0, max_value=30)),
+        max_size=150,
+    )
+)
+def test_lru_matches_reference_model(ops):
+    """The array must agree with a straightforward LRU reference model."""
+    sets, ways = 4, 3
+    array = CacheArray(sets, ways)
+    model = {index: [] for index in range(sets)}  # LRU order: old -> new
+
+    for op, line in ops:
+        index = line % sets
+        entries = model[index]
+        if op == "lookup":
+            expected_hit = line in entries
+            assert array.lookup(line) == expected_hit
+            if expected_hit:
+                entries.remove(line)
+                entries.append(line)
+        else:
+            victim = array.install(line)
+            if line in entries:
+                entries.remove(line)
+                entries.append(line)
+                assert victim is None
+            else:
+                if len(entries) >= ways:
+                    expected_victim = entries.pop(0)
+                    assert victim is not None
+                    assert victim.line_addr == expected_victim
+                else:
+                    assert victim is None
+                entries.append(line)
+
+    for index in range(sets):
+        assert sorted(model[index]) == sorted(array.lines_in_set(index))

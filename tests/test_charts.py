@@ -1,0 +1,86 @@
+"""ASCII chart renderer tests."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart, sparkline
+
+
+class TestBarChart:
+    def test_labels_and_values_present(self):
+        chart = bar_chart({"a": 1.0, "bb": 2.0})
+        assert "a " in chart and "bb" in chart
+        assert "1.000" in chart and "2.000" in chart
+
+    def test_peak_fills_width(self):
+        chart = bar_chart({"x": 2.0}, width=10)
+        assert "█" * 10 in chart
+
+    def test_proportional_bars(self):
+        chart = bar_chart({"half": 1.0, "full": 2.0}, width=10)
+        lines = chart.splitlines()
+        half_line = next(line for line in lines if "half" in line)
+        full_line = next(line for line in lines if "full" in line)
+        assert half_line.count("█") * 2 == full_line.count("█")
+
+    def test_reference_marker(self):
+        chart = bar_chart({"low": 0.5, "high": 2.0}, width=20,
+                          reference=1.0)
+        low_line = next(
+            line for line in chart.splitlines() if "low" in line
+        )
+        assert "|" in low_line  # marker beyond the short bar
+
+    def test_title_and_unit(self):
+        chart = bar_chart({"x": 1.5}, title="Speedups", unit="x")
+        assert chart.splitlines()[0] == "Speedups"
+        assert "1.500x" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_zero_values_ok(self):
+        chart = bar_chart({"zero": 0.0, "one": 1.0})
+        assert "0.000" in chart
+
+
+class TestGroupedBarChart:
+    def test_groups_and_series(self):
+        chart = grouped_bar_chart({
+            "KMEANS": {"UBA": 1.0, "NUBA": 1.7},
+            "AN": {"UBA": 1.0, "NUBA": 2.3},
+        })
+        lines = chart.splitlines()
+        assert "KMEANS:" in lines[0]
+        assert any("NUBA" in line and "2.300" in line for line in lines)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart({})
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_peak_is_full_block(self):
+        line = sparkline([1, 8, 2])
+        assert line[1] == "█"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_zero(self):
+        assert sparkline([0, 0]) == "  "
+
+
+class TestFigureIntegration:
+    def test_fig_render_includes_chart(self):
+        from repro.experiments.figures import FigureResult
+        result = FigureResult(
+            "Figure X", ["bench"], [["a"]],
+            chart={"a": 1.5, "b": 0.7}, chart_reference=1.0,
+        )
+        text = result.render()
+        assert "█" in text
+        assert "1.500x" in text

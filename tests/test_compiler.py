@@ -1,0 +1,276 @@
+"""Compiler tests: PTX parsing, data-flow analysis and RO marking."""
+
+import pytest
+
+from repro.compiler.dataflow import TOP, analyze_kernel, analyze_module
+from repro.compiler.passes import mark_module, mark_read_only
+from repro.compiler.ptx import parse_kernel, parse_module
+
+SAXPY = """
+.visible .entry saxpy(
+    .param .u64 x,
+    .param .u64 y
+)
+{
+    ld.param.u64 %rd1, [x];
+    ld.param.u64 %rd2, [y];
+    cvta.to.global.u64 %rd3, %rd1;
+    cvta.to.global.u64 %rd4, %rd2;
+    ld.global.f32 %f1, [%rd3];
+    ld.global.f32 %f2, [%rd4];
+    fma.rn.f32 %f3, %f1, %f0, %f2;
+    st.global.f32 [%rd4], %f3;
+    ret;
+}
+"""
+
+
+class TestParser:
+    def test_kernel_name_and_params(self):
+        kernel = parse_kernel(SAXPY)
+        assert kernel.name == "saxpy"
+        assert kernel.params == ["x", "y"]
+
+    def test_instruction_counts(self):
+        kernel = parse_kernel(SAXPY)
+        assert len(kernel.global_loads()) == 2
+        assert len(kernel.global_stores()) == 1
+
+    def test_memory_operand_parsing(self):
+        kernel = parse_kernel(SAXPY)
+        load = kernel.global_loads()[0]
+        assert load.mem_base_register == "%rd3"
+
+    def test_param_load_name(self):
+        kernel = parse_kernel(SAXPY)
+        param_loads = [i for i in kernel.instructions if i.is_param_load]
+        assert param_loads[0].mem_param_name == "x"
+
+    def test_labels_and_branches(self):
+        text = """
+        .visible .entry looped(.param .u64 data)
+        {
+            ld.param.u64 %rd1, [data];
+        LOOP:
+            ld.global.f32 %f1, [%rd1];
+            bra LOOP;
+            ret;
+        }
+        """
+        kernel = parse_kernel(text)
+        assert "LOOP" in kernel.labels
+        branches = [i for i in kernel.instructions if i.opcode == "bra"]
+        assert branches[0].label == "LOOP"
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(ValueError):
+            parse_kernel("not a kernel")
+
+    def test_parse_module_multiple_kernels(self):
+        module = SAXPY + "\n" + SAXPY.replace("saxpy", "saxpy2")
+        kernels = parse_module(module)
+        assert [k.name for k in kernels] == ["saxpy", "saxpy2"]
+
+    def test_render_round_trip(self):
+        kernel = parse_kernel(SAXPY)
+        rendered = kernel.render()
+        reparsed = parse_kernel(rendered)
+        assert reparsed.name == kernel.name
+        assert len(reparsed.instructions) == len(kernel.instructions)
+
+    def test_comments_ignored(self):
+        text = SAXPY.replace(
+            "ld.global.f32 %f1, [%rd3];",
+            "ld.global.f32 %f1, [%rd3]; // comment",
+        )
+        kernel = parse_kernel(text)
+        assert len(kernel.global_loads()) == 2
+
+
+class TestDataflow:
+    def test_saxpy_read_only(self):
+        kernel = parse_kernel(SAXPY)
+        result = analyze_kernel(kernel)
+        assert result.read_only == {"x"}
+        assert result.written == {"y"}
+
+    def test_pointer_arithmetic_tracked(self):
+        text = """
+        .visible .entry offs(.param .u64 a, .param .u64 b)
+        {
+            ld.param.u64 %rd1, [a];
+            ld.param.u64 %rd2, [b];
+            add.u64 %rd3, %rd1, %r0;
+            mad.lo.u64 %rd4, %rd2, %r1, %r2;
+            ld.global.f32 %f1, [%rd3+16];
+            st.global.f32 [%rd4+8], %f1;
+            ret;
+        }
+        """
+        result = analyze_kernel(parse_kernel(text))
+        assert result.read_only == {"a"}
+        assert result.written == {"b"}
+
+    def test_loaded_pointer_is_top(self):
+        """A pointer loaded from memory may alias anything: a store
+        through it conservatively marks every parameter written."""
+        text = """
+        .visible .entry chase(.param .u64 a, .param .u64 b)
+        {
+            ld.param.u64 %rd1, [a];
+            ld.global.u64 %rd2, [%rd1];
+            st.global.f32 [%rd2], %f0;
+            ret;
+        }
+        """
+        result = analyze_kernel(parse_kernel(text))
+        assert result.written == {"a", "b"}
+        assert result.read_only == set()
+
+    def test_atomic_counts_as_write(self):
+        text = """
+        .visible .entry atom(.param .u64 counters, .param .u64 data)
+        {
+            ld.param.u64 %rd1, [counters];
+            ld.param.u64 %rd2, [data];
+            ld.global.f32 %f1, [%rd2];
+            atom.global.add.u32 %r1, [%rd1], %r0;
+            ret;
+        }
+        """
+        result = analyze_kernel(parse_kernel(text))
+        assert "counters" in result.written
+        assert result.read_only == {"data"}
+
+    def test_aliased_registers_merge_provenance(self):
+        """A register derived from two parameters taints both."""
+        text = """
+        .visible .entry sel(.param .u64 a, .param .u64 b)
+        {
+            ld.param.u64 %rd1, [a];
+            ld.param.u64 %rd2, [b];
+            selp.u64 %rd3, %rd1, %rd2, %p0;
+            st.global.f32 [%rd3], %f0;
+            ret;
+        }
+        """
+        result = analyze_kernel(parse_kernel(text))
+        assert result.written == {"a", "b"}
+
+    def test_fixed_point_through_loop_copies(self):
+        """Provenance propagates through a copy cycle (requires the
+        fixed-point iteration, not a single pass)."""
+        text = """
+        .visible .entry loopy(.param .u64 a)
+        {
+            ld.param.u64 %rd9, [a];
+            mov.u64 %rd1, %rd3;
+            mov.u64 %rd2, %rd1;
+            mov.u64 %rd3, %rd9;
+            st.global.f32 [%rd2], %f0;
+            ret;
+        }
+        """
+        # After iteration: rd3 <- a, rd1 <- rd3 <- a, rd2 <- rd1 <- a.
+        result = analyze_kernel(parse_kernel(text))
+        assert result.written == {"a"}
+
+    def test_per_kernel_independence(self):
+        """Read-only is per kernel: kernel 1 writes c, kernel 2 reads it."""
+        module = """
+        .visible .entry produce(.param .u64 a, .param .u64 c)
+        {
+            ld.param.u64 %rd1, [a];
+            ld.param.u64 %rd2, [c];
+            ld.global.f32 %f1, [%rd1];
+            st.global.f32 [%rd2], %f1;
+            ret;
+        }
+        .visible .entry consume(.param .u64 c, .param .u64 e)
+        {
+            ld.param.u64 %rd1, [c];
+            ld.param.u64 %rd2, [e];
+            ld.global.f32 %f1, [%rd1];
+            st.global.f32 [%rd2], %f1;
+            ret;
+        }
+        """
+        results = analyze_module(parse_module(module))
+        assert results["produce"].written == {"c"}
+        assert results["consume"].read_only == {"c"}
+
+
+class TestMarkingPass:
+    def test_rewrites_read_only_loads(self):
+        kernel = parse_kernel(SAXPY)
+        annotation = mark_read_only(kernel)
+        assert annotation.read_only_spaces == {"x"}
+        assert annotation.rewritten_loads == 1
+        opcodes = [i.opcode for i in kernel.global_loads()]
+        assert "ld.global.ro.f32" in opcodes
+        assert any(not i.is_read_only_load for i in kernel.global_loads())
+
+    def test_top_provenance_not_rewritten(self):
+        text = """
+        .visible .entry chase(.param .u64 a)
+        {
+            ld.param.u64 %rd1, [a];
+            ld.global.u64 %rd2, [%rd1];
+            ld.global.f32 %f1, [%rd2];
+            ret;
+        }
+        """
+        kernel = parse_kernel(text)
+        annotation = mark_read_only(kernel)
+        # The indirect load's target is unknown; only the direct load
+        # through 'a' may be rewritten.
+        assert annotation.rewritten_loads == 1
+
+    def test_idempotent(self):
+        kernel = parse_kernel(SAXPY)
+        mark_read_only(kernel)
+        second = mark_read_only(kernel)
+        assert second.rewritten_loads == 0
+
+    def test_mark_module(self):
+        module = parse_module(SAXPY)
+        results = mark_module(module)
+        assert results["saxpy"].read_only_spaces == {"x"}
+
+
+class TestHandWrittenKernels:
+    """The analysis reaches correct conclusions on nvcc-shaped PTX
+    (loops, predicates, shared-memory staging, pointer chasing)."""
+
+    def test_ground_truths(self):
+        from repro.workloads.kernels import HAND_WRITTEN
+        for name, (ptx, expected) in HAND_WRITTEN.items():
+            kernel = parse_kernel(ptx)
+            annotation = mark_read_only(kernel)
+            assert annotation.read_only_spaces == expected, name
+
+    def test_gemm_shared_memory_not_global(self):
+        """st.shared must not count as a global write."""
+        from repro.workloads.kernels import GEMM_PTX
+        kernel = parse_kernel(GEMM_PTX)
+        result = analyze_kernel(kernel)
+        assert result.written == {"c"}
+
+    def test_mapreduce_indirect_load_not_rewritten(self):
+        """The gather through a loaded index has TOP provenance: the
+        structures stay read-only (no write path) but that specific load
+        cannot be rewritten to ld.global.ro."""
+        from repro.workloads.kernels import MAPREDUCE_PTX
+        kernel = parse_kernel(MAPREDUCE_PTX)
+        annotation = mark_read_only(kernel)
+        indirect_loads = [
+            i for i in kernel.global_loads()
+            if i.mem_base_register == "%rp" and not i.is_read_only_load
+        ]
+        assert indirect_loads  # stayed an ordinary ld.global
+
+    def test_atomics_written_set(self):
+        from repro.workloads.kernels import MAPREDUCE_PTX
+        kernel = parse_kernel(MAPREDUCE_PTX)
+        result = analyze_kernel(kernel)
+        assert "counters" in result.written

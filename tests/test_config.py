@@ -1,0 +1,216 @@
+"""Configuration tests: Table 1 values, derived quantities, scaling."""
+
+import pytest
+
+from repro.config.gpu import (
+    CacheConfig,
+    GPUConfig,
+    HBMTimingConfig,
+    bytes_per_cycle_to_gbps,
+    gbps_to_bytes_per_cycle,
+)
+from repro.config.presets import (
+    baseline_config,
+    scaled_config,
+    small_config,
+    with_llc_capacity,
+    with_partition_ratio,
+)
+from repro.config.topology import (
+    AddressMapKind,
+    Architecture,
+    MCMSpec,
+    TopologySpec,
+)
+
+
+class TestTable1:
+    """The baseline configuration must match Table 1 exactly."""
+
+    def setup_method(self):
+        self.gpu = baseline_config()
+
+    def test_sm_count(self):
+        assert self.gpu.num_sms == 64
+
+    def test_sm_resources(self):
+        assert self.gpu.sm.simt_width == 32
+        assert self.gpu.sm.max_threads == 2048
+        assert self.gpu.sm.warps_per_sm == 64
+        assert self.gpu.sm.warp_schedulers == 2
+        assert self.gpu.sm.scheduler_policy == "gto"
+
+    def test_l1_geometry(self):
+        l1 = self.gpu.l1
+        assert l1.size_bytes == 48 * 1024
+        assert l1.ways == 6
+        assert l1.sets == 64
+        assert l1.line_bytes == 128
+        assert l1.mshr_entries == 128
+        assert not l1.write_back
+
+    def test_llc_geometry(self):
+        llc = self.gpu.llc_slice
+        assert llc.ways == 16
+        assert llc.sets == 48
+        assert llc.latency == 120
+        assert llc.write_back
+        # 64 slices x 96 KB = 6 MB total.
+        assert self.gpu.llc_total_bytes == 6 * 1024 * 1024
+
+    def test_tlb(self):
+        tlb = self.gpu.tlb
+        assert tlb.l1_entries == 128
+        assert tlb.l2_entries == 512
+        assert tlb.l2_ways == 16
+        assert tlb.l2_latency == 10
+        assert tlb.page_walkers == 64
+        # 20 us at 1.4 GHz.
+        assert tlb.page_fault_cycles == 28_000
+
+    def test_memory_system(self):
+        mem = self.gpu.memory
+        assert mem.stacks == 4
+        assert mem.channels_per_stack == 8
+        assert mem.num_channels == 32
+        assert mem.banks_per_channel == 16
+        assert mem.queue_entries == 64
+        assert mem.scheduler == "frfcfs"
+        assert mem.total_bandwidth_gbps == 720.0
+
+    def test_hbm_timings(self):
+        t = self.gpu.memory.timing
+        assert (t.tRC, t.tRCD, t.tRP, t.tCL) == (24, 7, 7, 7)
+        assert (t.tWL, t.tRAS, t.tRRDl, t.tRRDs) == (2, 17, 5, 4)
+        assert (t.tFAW, t.tRTP) == (20, 7)
+
+    def test_noc(self):
+        noc = self.gpu.noc
+        assert noc.total_bandwidth_gbps == 1400.0
+        assert noc.ports == 64
+        assert noc.stage_latency == 4
+        assert noc.stages == 2
+        assert noc.latency == 8
+
+    def test_local_links(self):
+        assert self.gpu.local_link.total_bandwidth_gbps == 2800.0
+
+    def test_partition_composition(self):
+        # 2 SMs : 2 LLC slices : 1 memory controller per partition.
+        assert self.gpu.num_partitions == 32
+        assert self.gpu.sms_per_partition == 2
+        assert self.gpu.slices_per_partition == 2
+
+    def test_page_size(self):
+        assert self.gpu.page_bytes == 4096
+        assert self.gpu.lines_per_page == 32
+
+
+class TestDerivedBandwidths:
+    def test_gbps_round_trip(self):
+        assert bytes_per_cycle_to_gbps(
+            gbps_to_bytes_per_cycle(1400.0)
+        ) == pytest.approx(1400.0)
+
+    def test_noc_port_width(self):
+        gpu = baseline_config()
+        # 1.4 TB/s over 64 ports at 1.4 GHz = ~15.6 B/cycle/port.
+        assert gpu.noc.port_bytes_per_cycle == pytest.approx(15.625)
+
+    def test_channel_bandwidth(self):
+        gpu = baseline_config()
+        # 720 GB/s over 32 channels = 22.5 GB/s = ~16 B/cycle.
+        assert gpu.memory.channel_bytes_per_cycle == pytest.approx(
+            16.07, abs=0.01
+        )
+        assert gpu.memory.line_transfer_cycles == 8
+
+    def test_local_link_partition_width(self):
+        gpu = baseline_config()
+        width = gpu.local_link.partition_bytes_per_cycle(32)
+        assert width == pytest.approx(62.5)
+
+    def test_hbm_core_clock_scaling(self):
+        t = HBMTimingConfig().in_core_cycles(4)
+        assert t.tCL == 28
+        assert t.tRC == 96
+
+
+class TestScaling:
+    def test_scaled_config_preserves_ratio(self):
+        for factor in (0.5, 1.0, 2.0):
+            gpu = scaled_config(factor)
+            assert gpu.num_sms == gpu.num_llc_slices
+            assert gpu.num_sms == 2 * gpu.num_channels
+
+    def test_scaled_bandwidth_proportional(self):
+        gpu = scaled_config(2.0)
+        base = baseline_config()
+        assert gpu.memory.total_bandwidth_gbps == pytest.approx(
+            2 * base.memory.total_bandwidth_gbps
+        )
+        # Per-port NoC width is preserved under scaling.
+        assert gpu.noc.port_bytes_per_cycle == pytest.approx(
+            base.noc.port_bytes_per_cycle
+        )
+
+    def test_small_config_per_resource_widths_match_baseline(self):
+        gpu = small_config()
+        base = baseline_config()
+        assert gpu.noc.port_bytes_per_cycle == pytest.approx(
+            base.noc.port_bytes_per_cycle
+        )
+        assert gpu.memory.channel_bytes_per_cycle == pytest.approx(
+            base.memory.channel_bytes_per_cycle
+        )
+        assert gpu.local_link.partition_bytes_per_cycle(
+            gpu.num_partitions
+        ) == pytest.approx(
+            base.local_link.partition_bytes_per_cycle(base.num_partitions)
+        )
+
+    def test_llc_capacity_scaling(self):
+        base = baseline_config()
+        double = with_llc_capacity(base, 2.0)
+        assert double.llc_total_bytes == 2 * base.llc_total_bytes
+
+    def test_partition_ratio_constant_capacity(self):
+        base = baseline_config()
+        for spc in (1, 2, 4):
+            cfg = with_partition_ratio(base, spc)
+            assert cfg.slices_per_channel == spc
+            assert cfg.llc_total_bytes == base.llc_total_bytes
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_config(0.001)
+
+
+class TestValidation:
+    def test_cache_requires_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            CacheConfig(sets=4, ways=2, line_bytes=100)
+
+    def test_slices_must_divide_channels(self):
+        with pytest.raises(ValueError):
+            GPUConfig(num_llc_slices=63)
+
+    def test_topology_pae_only_for_mem_side_uba(self):
+        gpu = baseline_config()
+        topo = TopologySpec(
+            architecture=Architecture.NUBA,
+            address_map=AddressMapKind.PAE,
+        )
+        with pytest.raises(ValueError):
+            topo.validate(gpu)
+
+    def test_topology_lab_threshold_range(self):
+        gpu = baseline_config()
+        with pytest.raises(ValueError):
+            TopologySpec(lab_threshold=1.5).validate(gpu)
+
+    def test_mcm_modules_must_divide(self):
+        gpu = baseline_config()
+        topo = TopologySpec(mcm=MCMSpec(modules=7))
+        with pytest.raises(ValueError):
+            topo.validate(gpu)

@@ -1,0 +1,93 @@
+"""GPU driver tests: fault handling, placement, sharing tracking."""
+
+import pytest
+
+from repro.config.presets import small_config
+from repro.config.topology import AddressMapKind, PagePolicy
+from repro.driver.allocator import make_allocator
+from repro.driver.driver import GpuDriver
+from repro.vm.address_map import make_address_map
+
+GPU = small_config()
+HOMES = [sm // GPU.sms_per_partition for sm in range(GPU.num_sms)]
+
+
+def _driver(policy=PagePolicy.LAB, map_kind=AddressMapKind.FIXED_CHANNEL):
+    amap = make_address_map(GPU, map_kind)
+    allocator = make_allocator(policy, GPU.num_channels, HOMES)
+    return GpuDriver(GPU, amap, allocator), amap
+
+
+class TestFaultHandling:
+    def test_fault_installs_translation(self):
+        driver, _ = _driver()
+        frame = driver.handle_fault(vpage=7, sm_id=0)
+        assert driver.lookup_translation(7, 0) == frame
+        assert driver.pages_allocated == 1
+
+    def test_frame_lands_on_chosen_channel(self):
+        driver, amap = _driver(PagePolicy.FIRST_TOUCH)
+        for sm_id in range(GPU.num_sms):
+            frame = driver.handle_fault(vpage=100 + sm_id, sm_id=sm_id)
+            line = amap.line_addr(frame, 0)
+            assert amap.channel_of_line(line) == HOMES[sm_id]
+
+    def test_frames_never_collide(self):
+        driver, _ = _driver(PagePolicy.ROUND_ROBIN)
+        frames = {driver.handle_fault(v, v % GPU.num_sms)
+                  for v in range(200)}
+        assert len(frames) == 200
+
+    def test_page_home_recorded(self):
+        driver, _ = _driver(PagePolicy.FIRST_TOUCH)
+        driver.handle_fault(vpage=3, sm_id=6)
+        assert driver.page_home[3] == HOMES[6]
+
+    def test_pae_map_sequential_frames(self):
+        """Under PAE the driver hands out sequential frames and the map
+        scatters channels; the allocator still counts pages."""
+        driver, amap = _driver(map_kind=AddressMapKind.PAE)
+        frames = [driver.handle_fault(v, 0) for v in range(16)]
+        assert frames == list(range(16))
+        channels = {driver.page_home[v] for v in range(16)}
+        assert len(channels) > 1  # scattered despite single-SM faults
+
+    def test_carve_frame_advances(self):
+        driver, _ = _driver()
+        a = driver.carve_frame(3)
+        b = driver.carve_frame(3)
+        assert a != b
+
+
+class TestSharingTracking:
+    def test_histogram_counts_accessors(self):
+        driver, _ = _driver()
+        driver.note_access(1, sm_id=0)
+        driver.note_access(1, sm_id=5)
+        driver.note_access(2, sm_id=0)
+        hist = driver.sharing_histogram()
+        assert hist[1] == 1  # page 2: one SM
+        assert hist[2] == 1  # page 1: two SMs
+
+    def test_repeat_access_not_double_counted(self):
+        driver, _ = _driver()
+        for _ in range(10):
+            driver.note_access(1, sm_id=0)
+        assert driver.sharing_histogram()[1] == 1
+
+    def test_shared_fraction(self):
+        driver, _ = _driver()
+        driver.note_access(1, 0)
+        driver.note_access(1, 9)
+        driver.note_access(2, 0)
+        assert driver.shared_page_fraction() == pytest.approx(0.5)
+
+    def test_partition_counts_optional(self):
+        driver, _ = _driver()
+        driver.note_access(1, 0)
+        assert driver.partition_counts == {}
+        driver.track_partition_counts = True
+        driver.note_access(1, 0)
+        driver.note_access(1, 2)  # partition 1
+        assert driver.partition_counts[1][0] == 1
+        assert driver.partition_counts[1][1] == 1

@@ -1,0 +1,72 @@
+"""Simulation-engine tests."""
+
+import pytest
+
+from repro.sim.engine import Component, Simulator
+
+
+class Counter(Component):
+    def __init__(self, name="counter"):
+        super().__init__(name)
+        self.ticks = []
+
+    def tick(self, now):
+        self.ticks.append(now)
+
+
+class TestSimulator:
+    def test_run_advances_cycles(self):
+        sim = Simulator()
+        counter = sim.add(Counter())
+        sim.run(5)
+        assert sim.cycle == 5
+        assert counter.ticks == [0, 1, 2, 3, 4]
+
+    def test_components_tick_in_order(self):
+        sim = Simulator()
+        order = []
+
+        class Probe(Component):
+            def __init__(self, tag):
+                super().__init__(tag)
+
+            def tick(self, now):
+                order.append(self.name)
+
+        sim.add(Probe("first"))
+        sim.add(Probe("second"))
+        sim.step()
+        assert order == ["first", "second"]
+
+    def test_epoch_hooks_fire_on_period(self):
+        sim = Simulator()
+        fired = []
+        sim.every(10, fired.append)
+        sim.run(25)
+        assert fired == [10, 20]
+
+    def test_epoch_hook_period_validated(self):
+        with pytest.raises(ValueError):
+            Simulator().every(0, lambda cycle: None)
+
+    def test_run_until_stops_on_predicate(self):
+        sim = Simulator()
+        counter = sim.add(Counter())
+        done = sim.run_until(lambda: sim.cycle >= 100, max_cycles=10_000,
+                             check_period=16)
+        assert done
+        # The predicate is polled every 16 cycles, so we stop at the
+        # first multiple of 16 past 100.
+        assert 100 <= sim.cycle <= 116
+
+    def test_run_until_respects_max_cycles(self):
+        sim = Simulator()
+        sim.add(Counter())
+        done = sim.run_until(lambda: False, max_cycles=64, check_period=16)
+        assert not done
+        assert sim.cycle == 64
+
+    def test_stats_shared(self):
+        sim = Simulator()
+        sim.stats.bump("x")
+        assert sim.stats.get("x") == 1

@@ -1,0 +1,88 @@
+"""L1 data cache tests (write-through, write-no-allocate)."""
+
+import pytest
+
+from repro.cache.l1 import L1Cache, L1Outcome
+from repro.config.gpu import CacheConfig
+from repro.sim.request import AccessKind, MemoryRequest
+
+
+def _l1(sets=4, ways=2, mshr=4):
+    return L1Cache(0, CacheConfig(sets=sets, ways=ways, mshr_entries=mshr))
+
+
+def _load(line):
+    return MemoryRequest(AccessKind.LOAD, line, sm_id=0)
+
+
+def _store(line):
+    return MemoryRequest(AccessKind.STORE, line, sm_id=0)
+
+
+class TestL1Loads:
+    def test_cold_miss_is_new(self):
+        l1 = _l1()
+        assert l1.access_load(_load(1)) is L1Outcome.MISS_NEW
+
+    def test_second_miss_merges(self):
+        l1 = _l1()
+        l1.access_load(_load(1))
+        assert l1.access_load(_load(1)) is L1Outcome.MISS_MERGED
+
+    def test_fill_then_hit(self):
+        l1 = _l1()
+        l1.access_load(_load(1))
+        waiters = l1.fill(1)
+        assert len(waiters) == 1
+        request = _load(1)
+        assert l1.access_load(request) is L1Outcome.HIT
+        assert request.hit_level == "l1"
+
+    def test_mshr_full_stalls(self):
+        l1 = _l1(mshr=2)
+        l1.access_load(_load(1))
+        l1.access_load(_load(2))
+        assert l1.access_load(_load(3)) is L1Outcome.STALL
+
+    def test_fill_releases_all_merged_waiters(self):
+        l1 = _l1()
+        a, b, c = _load(5), _load(5), _load(5)
+        for request in (a, b, c):
+            l1.access_load(request)
+        assert l1.fill(5) == [a, b, c]
+
+
+class TestL1Stores:
+    def test_store_does_not_allocate(self):
+        l1 = _l1()
+        l1.access_store(_store(1))
+        assert l1.access_load(_load(1)) is L1Outcome.MISS_NEW
+
+    def test_store_keeps_present_line_valid(self):
+        l1 = _l1()
+        l1.access_load(_load(1))
+        l1.fill(1)
+        l1.access_store(_store(1))
+        assert l1.access_load(_load(1)) is L1Outcome.HIT
+
+    def test_store_counted(self):
+        l1 = _l1()
+        l1.access_store(_store(1))
+        assert l1.stores == 1
+
+
+class TestL1Coherence:
+    def test_flush_invalidates(self):
+        l1 = _l1()
+        l1.access_load(_load(1))
+        l1.fill(1)
+        l1.flush()
+        assert l1.access_load(_load(1)) is L1Outcome.MISS_NEW
+        assert l1.flushes == 1
+
+    def test_hit_rate(self):
+        l1 = _l1()
+        l1.access_load(_load(1))
+        l1.fill(1)
+        l1.access_load(_load(1))
+        assert l1.load_hit_rate == pytest.approx(0.5)

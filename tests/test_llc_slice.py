@@ -1,0 +1,200 @@
+"""LLC slice tests (Figure 5 microarchitecture)."""
+
+import pytest
+
+from repro.cache.llc_slice import LLCSlice
+from repro.config.gpu import CacheConfig
+from repro.sim.request import AccessKind, MemoryRequest
+
+
+class Harness:
+    """Wires a slice with recording sinks and a manual clock."""
+
+    def __init__(self, latency=2, sets=4, ways=2, mshr=8):
+        config = CacheConfig(
+            sets=sets, ways=ways, mshr_entries=mshr, latency=latency,
+            write_back=True, write_allocate=True,
+        )
+        self.slice = LLCSlice(0, config)
+        self.replies = []
+        self.misses = []
+        self.replica_misses = []
+        self.writebacks = []
+        self.slice.reply_sink = lambda r: (self.replies.append(r), True)[1]
+        self.slice.miss_sink = lambda r: (self.misses.append(r), True)[1]
+        self.slice.replica_miss_sink = (
+            lambda r: (self.replica_misses.append(r), True)[1]
+        )
+        self.slice.writeback_sink = (
+            lambda line: (self.writebacks.append(line), True)[1]
+        )
+        self.cycle = 0
+
+    def run(self, cycles):
+        for _ in range(cycles):
+            self.slice.tick(self.cycle)
+            self.cycle += 1
+
+
+def _load(line, home_slice=0, local=True):
+    request = MemoryRequest(AccessKind.LOAD, line, sm_id=0)
+    request.home_slice = home_slice
+    request.is_local = local
+    return request
+
+
+def _store(line):
+    return MemoryRequest(AccessKind.STORE, line, sm_id=0)
+
+
+class TestLLCRequestFlow:
+    def test_miss_goes_downstream_then_fill_replies(self):
+        h = Harness()
+        request = _load(1)
+        assert h.slice.accept_local(request)
+        h.run(5)
+        assert h.misses == [request]
+        assert h.replies == []
+        h.slice.fill(request)
+        h.run(5)
+        assert h.replies == [request]
+        assert request.hit_level == "mem"
+
+    def test_hit_replies_after_latency(self):
+        h = Harness(latency=3)
+        first = _load(1)
+        h.slice.accept_local(first)
+        h.run(6)
+        h.slice.fill(first)
+        h.run(6)
+        h.replies.clear()
+        second = _load(1)
+        h.slice.accept_local(second)
+        h.run(2)  # arbiter cycle + part of the pipeline
+        assert h.replies == []
+        h.run(4)
+        assert h.replies == [second]
+        assert second.hit_level == "llc"
+
+    def test_mshr_merge_no_duplicate_memory_traffic(self):
+        h = Harness()
+        a, b = _load(1), _load(1)
+        h.slice.accept_local(a)
+        h.slice.accept_remote(b)
+        h.run(6)
+        assert h.misses == [a]  # b merged
+        h.slice.fill(a)
+        h.run(6)
+        assert set(h.replies) >= {a, b} or len(h.replies) == 2
+
+    def test_one_array_access_per_cycle(self):
+        h = Harness(latency=1)
+        for line in range(6):
+            h.slice.accept_local(_load(line))
+        h.run(3)
+        assert h.slice.port_cycles == 3
+
+    def test_round_robin_between_lmr_and_rmr(self):
+        h = Harness(latency=1)
+        local = [_load(line) for line in range(0, 8, 2)]
+        remote = [_load(line) for line in range(1, 9, 2)]
+        for request in local:
+            h.slice.accept_local(request)
+        for request in remote:
+            h.slice.accept_remote(request)
+        h.run(5)  # 5 arbiter cycles; 4 have cleared the 1-cycle pipeline
+        issued_local = sum(1 for r in local if r in h.misses)
+        issued_remote = sum(1 for r in remote if r in h.misses)
+        assert issued_local == 2
+        assert issued_remote == 2
+
+
+class TestLLCStores:
+    def test_store_hit_marks_dirty_and_writebacks_on_eviction(self):
+        h = Harness(sets=1, ways=1)
+        store = _store(1)
+        h.slice.accept_local(store)
+        h.run(3)
+        # Write-validate install; now evict it with another line.
+        other = _store(1 + 1 * 1)  # different line, same (only) set
+        other.line_addr = 2
+        h.slice.accept_local(other)
+        h.run(3)
+        assert h.writebacks == [1]
+
+    def test_store_completes_without_reply(self):
+        h = Harness()
+        store = _store(1)
+        h.slice.accept_local(store)
+        h.run(3)
+        assert store.complete_cycle >= 0
+        assert h.replies == []
+
+
+class TestLLCReplication:
+    def test_replica_miss_forwarded_to_home(self):
+        h = Harness()
+        request = _load(1, home_slice=5)
+        request.is_replica_access = True
+        h.slice.accept_local(request)
+        h.run(5)
+        assert h.replica_misses == [request]
+        assert h.misses == []
+
+    def test_replica_fill_installs_and_replies(self):
+        h = Harness()
+        request = _load(1, home_slice=5)
+        request.is_replica_access = True
+        h.slice.accept_local(request)
+        h.run(5)
+        h.slice.fill(request)  # data returned from the home partition
+        h.run(5)
+        assert h.replies == [request]
+        assert h.slice.array.probe(1)  # replica installed
+        assert h.slice.replica_fills == 1
+
+    def test_fill_replica_without_waiters(self):
+        h = Harness()
+        assert h.slice.fill_replica(9)
+        h.run(3)
+        assert h.slice.array.probe(9)
+        assert h.replies == []
+
+
+class TestLLCMaintenance:
+    def test_invalidate_op(self):
+        h = Harness()
+        h.slice.fill_replica(3)
+        h.run(2)
+        h.slice.invalidate(3)
+        h.run(2)
+        assert not h.slice.array.probe(3)
+        assert h.slice.invalidations == 1
+
+    def test_flush_returns_dirty_lines(self):
+        h = Harness()
+        h.slice.accept_local(_store(1))
+        h.slice.accept_local(_store(2))
+        h.run(5)
+        dirty = h.slice.flush()
+        assert sorted(dirty) == [1, 2]
+
+    def test_pending_work_reflects_queues(self):
+        h = Harness()
+        h.slice.accept_local(_load(1))
+        assert h.slice.pending_work > 0
+        h.run(6)
+        h.slice.fill(h.misses[0])
+        h.run(6)
+        assert h.slice.pending_work == 0
+
+    def test_mshr_full_backpressures_queue(self):
+        h = Harness(mshr=1)
+        a, b = _load(1), _load(2)
+        h.slice.accept_local(a)
+        h.slice.accept_local(b)
+        h.run(8)
+        assert h.misses == [a]  # b stalled behind the full MSHR file
+        h.slice.fill(a)
+        h.run(8)
+        assert b in h.misses

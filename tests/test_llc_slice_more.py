@@ -1,0 +1,134 @@
+"""Additional LLC-slice behaviours: priorities, back-pressure, ordering."""
+
+from repro.cache.llc_slice import LLCSlice
+from repro.config.gpu import CacheConfig
+from repro.sim.request import AccessKind, MemoryRequest
+
+
+class Harness:
+    """A slice with recording sinks (accept-everything by default)."""
+
+    def __init__(self, latency=1, sets=4, ways=2, mshr=8, queue_capacity=4):
+        config = CacheConfig(
+            sets=sets, ways=ways, mshr_entries=mshr, latency=latency,
+            write_back=True, write_allocate=True,
+        )
+        self.slice = LLCSlice(0, config, queue_capacity=queue_capacity)
+        self.replies = []
+        self.misses = []
+        self.slice.reply_sink = lambda r: (self.replies.append(r), True)[1]
+        self.slice.miss_sink = lambda r: (self.misses.append(r), True)[1]
+        self.slice.replica_miss_sink = lambda r: True
+        self.slice.writeback_sink = lambda line: True
+        self.cycle = 0
+
+    def run(self, cycles):
+        for _ in range(cycles):
+            self.slice.tick(self.cycle)
+            self.cycle += 1
+
+
+def _load(line):
+    request = MemoryRequest(AccessKind.LOAD, line, sm_id=0)
+    request.home_slice = 0
+    return request
+
+
+class TestPortPriorities:
+    def test_fills_take_priority_over_demand(self):
+        """A pending fill is serviced before queued demand requests
+        (fills free MSHRs and unblock the most work)."""
+        h = Harness()
+        first = _load(1)
+        h.slice.accept_local(first)
+        h.run(3)
+        assert h.misses == [first]
+        # Queue new demand AND the fill; the fill must win the port.
+        h.slice.accept_local(_load(2))
+        h.slice.fill(first)
+        h.slice.tick(h.cycle)  # one port cycle
+        assert h.slice.array.probe(1)      # fill processed
+        assert len(h.slice.lmr) == 1       # demand still queued
+
+
+class TestBackpressure:
+    def test_lmr_capacity(self):
+        h = Harness(queue_capacity=2)
+        assert h.slice.accept_local(_load(1))
+        assert h.slice.accept_local(_load(2))
+        assert not h.slice.accept_local(_load(3))
+
+    def test_rmr_capacity_independent(self):
+        h = Harness(queue_capacity=2)
+        h.slice.accept_local(_load(1))
+        h.slice.accept_local(_load(2))
+        assert h.slice.accept_remote(_load(3))  # separate queue
+
+    def test_miss_sink_backpressure_retries(self):
+        """A refused downstream miss is retried, not dropped."""
+        h = Harness()
+        accept = [False]
+        real_misses = []
+
+        def miss_sink(request):
+            if accept[0]:
+                real_misses.append(request)
+                return True
+            return False
+
+        h.slice.miss_sink = miss_sink
+        request = _load(1)
+        h.slice.accept_local(request)
+        h.run(10)
+        assert real_misses == []
+        assert h.slice.pending_work > 0
+        accept[0] = True
+        h.run(3)
+        assert real_misses == [request]
+
+    def test_reply_sink_backpressure_retries(self):
+        h = Harness()
+        accept = [False]
+        delivered = []
+
+        def reply_sink(request):
+            if accept[0]:
+                delivered.append(request)
+                return True
+            return False
+
+        h.slice.reply_sink = reply_sink
+        request = _load(1)
+        h.slice.accept_local(request)
+        h.run(4)
+        h.slice.fill(request)
+        h.run(6)
+        assert delivered == []
+        accept[0] = True
+        h.run(3)
+        assert delivered == [request]
+
+
+class TestOrdering:
+    def test_same_queue_fifo(self):
+        """Demand requests from one queue reach memory in order."""
+        h = Harness()
+        requests = [_load(line) for line in range(4)]
+        for request in requests:
+            h.slice.accept_local(request)
+        h.run(10)
+        assert h.misses == requests
+
+    def test_hit_under_miss(self):
+        """A hit issued after an outstanding miss completes while the
+        miss still waits for memory (non-blocking cache)."""
+        h = Harness()
+        h.slice.fill_replica(1)  # line 1 resident
+        h.run(2)
+        miss = _load(2)
+        hit = _load(1)
+        h.slice.accept_local(miss)
+        h.slice.accept_local(hit)
+        h.run(5)
+        assert h.replies == [hit]
+        assert h.misses == [miss]

@@ -1,0 +1,163 @@
+"""Tests for the Section 7.6 alternatives: migration and page replication."""
+
+import pytest
+
+from repro.config.presets import small_config
+from repro.config.topology import AddressMapKind, PagePolicy
+from repro.driver.allocator import make_allocator
+from repro.driver.driver import GpuDriver
+from repro.driver.migration import PageMigrationManager
+from repro.driver.page_replication import PageReplicationDriver
+from repro.vm.address_map import make_address_map
+
+GPU = small_config()
+HOMES = [sm // GPU.sms_per_partition for sm in range(GPU.num_sms)]
+
+
+def _driver():
+    amap = make_address_map(GPU, AddressMapKind.FIXED_CHANNEL)
+    allocator = make_allocator(PagePolicy.FIRST_TOUCH, GPU.num_channels,
+                               HOMES)
+    return GpuDriver(GPU, amap, allocator)
+
+
+def _manager(driver, copies):
+    return PageMigrationManager(
+        driver,
+        partition_channel=list(range(GPU.num_partitions)),
+        migrate_lines=lambda vp, src, dst: copies.append((vp, src, dst)),
+        interval=1000,
+    )
+
+
+class TestMigration:
+    def test_hot_remote_page_migrates(self):
+        driver = _driver()
+        copies = []
+        manager = _manager(driver, copies)
+        driver.handle_fault(vpage=1, sm_id=0)  # home channel 0
+        # Partition 3 (SMs 6,7) hammers the page.
+        for _ in range(20):
+            driver.note_access(1, sm_id=6)
+        generation = driver.translation_generation
+        manager.on_interval(1000)
+        assert manager.migrations == 1
+        assert driver.page_home[1] == 3
+        assert copies == [(1, 0, 3)]
+        assert driver.translation_generation == generation + 1
+
+    def test_local_page_stays(self):
+        driver = _driver()
+        copies = []
+        manager = _manager(driver, copies)
+        driver.handle_fault(vpage=1, sm_id=0)
+        for _ in range(20):
+            driver.note_access(1, sm_id=0)  # local accesses only
+        manager.on_interval(1000)
+        assert manager.migrations == 0
+
+    def test_contended_page_not_migrated(self):
+        """No partition dominates: migrating would ping-pong, so don't."""
+        driver = _driver()
+        manager = _manager(driver, [])
+        driver.handle_fault(vpage=1, sm_id=0)
+        for sm in (0, 2, 4, 6):  # four partitions, 25% each
+            for _ in range(5):
+                driver.note_access(1, sm_id=sm)
+        manager.on_interval(1000)
+        assert manager.migrations == 0
+
+    def test_cold_page_not_migrated(self):
+        driver = _driver()
+        manager = _manager(driver, [])
+        driver.handle_fault(vpage=1, sm_id=0)
+        driver.note_access(1, sm_id=6)  # below MIN_ACCESSES
+        manager.on_interval(1000)
+        assert manager.migrations == 0
+
+    def test_counts_reset_each_interval(self):
+        driver = _driver()
+        manager = _manager(driver, [])
+        driver.handle_fault(vpage=1, sm_id=0)
+        for _ in range(20):
+            driver.note_access(1, sm_id=6)
+        manager.on_interval(1000)
+        manager.on_interval(2000)  # no new accesses: nothing to do
+        assert manager.migrations == 1
+
+    def test_allocator_counts_follow_migration(self):
+        driver = _driver()
+        manager = _manager(driver, [])
+        driver.handle_fault(vpage=1, sm_id=0)
+        for _ in range(20):
+            driver.note_access(1, sm_id=6)
+        manager.on_interval(1000)
+        counts = driver.allocator.pages_per_channel
+        assert counts[0] == 0 and counts[3] == 1
+
+
+def _replication_driver(copies=None):
+    amap = make_address_map(GPU, AddressMapKind.FIXED_CHANNEL)
+    allocator = make_allocator(PagePolicy.FIRST_TOUCH, GPU.num_channels,
+                               HOMES)
+    return PageReplicationDriver(
+        GPU, amap, allocator,
+        copy_lines=(lambda vp, src, dst: copies.append((vp, src, dst)))
+        if copies is not None else None,
+    )
+
+
+class TestPageReplication:
+    def test_remote_touch_creates_replica(self):
+        driver = _replication_driver()
+        primary = driver.handle_fault(vpage=1, sm_id=0)
+        # SM 6 (partition 3) touches the page: lookup misses, fault
+        # replicates.
+        assert driver.lookup_translation(1, sm_id=6) is None
+        replica = driver.handle_fault(vpage=1, sm_id=6)
+        assert replica != primary
+        assert driver.replicas_created == 1
+        assert driver.lookup_translation(1, sm_id=6) == replica
+        assert driver.lookup_translation(1, sm_id=0) == primary
+
+    def test_translation_keys_differ_per_partition(self):
+        driver = _replication_driver()
+        key0 = driver.translation_key(1, sm_id=0)
+        key3 = driver.translation_key(1, sm_id=6)
+        assert key0 != key3
+
+    def test_write_collapses_replicas(self):
+        driver = _replication_driver()
+        driver.handle_fault(vpage=1, sm_id=0)
+        driver.handle_fault(vpage=1, sm_id=6)
+        generation = driver.translation_generation
+        driver.note_store(1)
+        assert driver.collapses == 1
+        assert driver.translation_generation == generation + 1
+        # All partitions now see the primary frame.
+        primary = driver.lookup_translation(1, sm_id=0)
+        assert driver.lookup_translation(1, sm_id=6) == primary
+
+    def test_written_page_never_replicates(self):
+        driver = _replication_driver()
+        primary = driver.handle_fault(vpage=1, sm_id=0)
+        driver.note_store(1)
+        assert driver.lookup_translation(1, sm_id=6) == primary
+        assert driver.replicas_created == 0
+
+    def test_copy_cost_charged(self):
+        copies = []
+        driver = _replication_driver(copies)
+        driver.handle_fault(vpage=1, sm_id=0)
+        driver.handle_fault(vpage=1, sm_id=6)
+        assert copies == [(1, 0, 3)]
+
+    def test_headroom_limits_replicas(self):
+        driver = _replication_driver()
+        driver.memory_headroom_pages = 1
+        driver.handle_fault(vpage=1, sm_id=0)
+        driver.handle_fault(vpage=2, sm_id=0)
+        driver.handle_fault(vpage=1, sm_id=6)  # uses the only slot
+        primary2 = driver.lookup_translation(2, sm_id=0)
+        assert driver.handle_fault(vpage=2, sm_id=6) == primary2
+        assert driver.replicas_created == 1

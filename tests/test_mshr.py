@@ -1,0 +1,68 @@
+"""MSHR file tests."""
+
+import pytest
+
+from repro.cache.mshr import MSHRFile, MSHROutcome
+from repro.sim.request import AccessKind, MemoryRequest
+
+
+def _req(line):
+    return MemoryRequest(AccessKind.LOAD, line, sm_id=0)
+
+
+class TestMSHR:
+    def test_first_miss_allocates(self):
+        mshr = MSHRFile(4)
+        assert mshr.allocate(_req(10)) is MSHROutcome.ALLOCATED
+        assert 10 in mshr
+
+    def test_same_line_merges(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(_req(10))
+        assert mshr.allocate(_req(10)) is MSHROutcome.MERGED
+        assert len(mshr) == 1
+        assert mshr.merges == 1
+
+    def test_full_stalls(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(_req(1))
+        mshr.allocate(_req(2))
+        assert mshr.allocate(_req(3)) is MSHROutcome.FULL
+        assert mshr.stalls == 1
+
+    def test_merge_allowed_when_full(self):
+        """Merging needs no new entry, so it works on a full file."""
+        mshr = MSHRFile(1)
+        mshr.allocate(_req(1))
+        assert mshr.allocate(_req(1)) is MSHROutcome.MERGED
+
+    def test_release_returns_all_waiters(self):
+        mshr = MSHRFile(4)
+        first, second = _req(7), _req(7)
+        mshr.allocate(first)
+        mshr.allocate(second)
+        waiters = mshr.release(7)
+        assert waiters == [first, second]
+        assert 7 not in mshr
+
+    def test_release_frees_entry(self):
+        mshr = MSHRFile(1)
+        mshr.allocate(_req(1))
+        mshr.release(1)
+        assert mshr.allocate(_req(2)) is MSHROutcome.ALLOCATED
+
+    def test_release_unknown_line_raises(self):
+        with pytest.raises(KeyError):
+            MSHRFile(1).release(99)
+
+    def test_peak_occupancy(self):
+        mshr = MSHRFile(8)
+        for line in range(5):
+            mshr.allocate(_req(line))
+        for line in range(5):
+            mshr.release(line)
+        assert mshr.peak_occupancy == 5
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)

@@ -1,0 +1,57 @@
+"""Additional preset/topology coverage."""
+
+import pytest
+
+from repro.config.presets import (
+    baseline_config,
+    mcm_config,
+    scaled_config,
+    small_config,
+    with_partition_ratio,
+)
+from repro.config.topology import MCMSpec, PartitionSpec
+
+
+class TestMCMConfig:
+    def test_default_is_double_baseline(self):
+        gpu = mcm_config()
+        base = baseline_config()
+        assert gpu.num_sms == 2 * base.num_sms
+        assert gpu.num_channels == 2 * base.num_channels
+
+    def test_modules_must_divide(self):
+        with pytest.raises(ValueError):
+            mcm_config(modules=7, base=small_config())
+
+    def test_custom_base(self):
+        gpu = mcm_config(modules=4, base=scaled_config(2.0, small_config()))
+        assert gpu.num_channels % 4 == 0
+
+
+class TestPartitionSpec:
+    def test_defaults_match_paper(self):
+        spec = PartitionSpec()
+        assert (spec.sms, spec.llc_slices, spec.memory_channels) == (2, 2, 1)
+
+    def test_rejects_empty_partitions(self):
+        with pytest.raises(ValueError):
+            PartitionSpec(sms=0)
+
+
+class TestMCMSpec:
+    def test_paper_defaults(self):
+        spec = MCMSpec()
+        assert spec.modules == 4
+        assert spec.inter_module_bandwidth_gbps == 720.0
+
+
+class TestPartitionRatio:
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            with_partition_ratio(baseline_config(), 0)
+
+    def test_one_slice_per_channel_doubles_sets(self):
+        base = baseline_config()
+        cfg = with_partition_ratio(base, 1)
+        assert cfg.num_llc_slices == base.num_channels
+        assert cfg.llc_slice.sets == 2 * base.llc_slice.sets

@@ -1,0 +1,100 @@
+"""Property-based NoC tests: packet conservation and bounded bandwidth."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.noc.crossbar import Crossbar
+
+packet_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),   # src port
+        st.integers(min_value=0, max_value=3),   # dest port
+        st.integers(min_value=1, max_value=160),  # size bytes
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(packets=packet_lists)
+def test_crossbar_conserves_packets(packets):
+    """Every accepted packet is delivered exactly once, none invented."""
+    xbar = Crossbar("x", ports=4, port_bytes_per_cycle=16, latency=2)
+    delivered = []
+    for port in range(4):
+        xbar.set_sink(port, lambda item: (delivered.append(item), True)[1])
+
+    accepted = []
+    for index, (src, dest, size) in enumerate(packets):
+        if xbar.inject(src, dest, ("pkt", index), size):
+            accepted.append(("pkt", index))
+
+    # Run long enough for everything to drain.
+    cycle = 0
+    while xbar.pending and cycle < 10_000:
+        xbar.tick(cycle)
+        cycle += 1
+
+    assert sorted(delivered) == sorted(accepted)
+    assert xbar.packets_transferred == len(accepted)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    packets=packet_lists,
+    width=st.sampled_from([8, 16, 64]),
+)
+def test_crossbar_respects_port_bandwidth(packets, width):
+    """Bytes ejected at any port never exceed width x cycles (+ one
+    cycle of banked credit)."""
+    xbar = Crossbar("x", ports=4, port_bytes_per_cycle=width, latency=0)
+    ejected = {port: 0 for port in range(4)}
+
+    def make_sink(port):
+        def sink(item):
+            ejected[port] += item
+            return True
+        return sink
+
+    for port in range(4):
+        xbar.set_sink(port, make_sink(port))
+
+    for src, dest, size in packets:
+        xbar.inject(src, dest, size, size)
+
+    cycles = 0
+    while xbar.pending and cycles < 5_000:
+        xbar.tick(cycles)
+        cycles += 1
+
+    budget = width * max(1, cycles) + 256  # one packet of banked credit
+    assert all(total <= budget for total in ejected.values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(packets=packet_lists)
+def test_crossbar_per_flow_fifo(packets):
+    """Packets of the same (src, dest) flow arrive in injection order."""
+    xbar = Crossbar("x", ports=4, port_bytes_per_cycle=32, latency=1)
+    arrived = {}
+    for port in range(4):
+        xbar.set_sink(
+            port,
+            lambda item, port=port: (
+                arrived.setdefault(item[0], []).append(item[1]), True
+            )[1],
+        )
+
+    counters = {}
+    for src, dest, size in packets:
+        flow = (src, dest)
+        sequence = counters.get(flow, 0)
+        if xbar.inject(src, dest, (flow, sequence), size):
+            counters[flow] = sequence + 1
+
+    cycle = 0
+    while xbar.pending and cycle < 10_000:
+        xbar.tick(cycle)
+        cycle += 1
+
+    for flow, sequence_numbers in arrived.items():
+        assert sequence_numbers == sorted(sequence_numbers)

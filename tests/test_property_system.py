@@ -1,0 +1,108 @@
+"""Property-based system tests: random workloads must conserve requests.
+
+Hypothesis generates small random workloads (structure sizes, access
+mixes, sharing patterns); every architecture must run them to completion
+with a clean conservation audit. This fuzzes the full request path --
+routing, queues, MSHRs, replication, atomics -- far beyond the
+hand-written scenarios.
+"""
+
+import random as stdlib_random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config.presets import small_config
+from repro.config.topology import (
+    Architecture,
+    ReplicationPolicy,
+    TopologySpec,
+)
+from repro.core.builders import build_system
+from repro.sim.request import AccessKind
+from repro.sm.warp import Compute, MemAccess
+from repro.workloads.benchmark import (
+    Benchmark,
+    KernelSpec,
+    StructureSpec,
+)
+
+GPU = small_config(num_channels=2, warps_per_sm=4)
+
+
+def _random_body(ctx, cta, warp):
+    """A reproducible random instruction stream driven by ctx params."""
+    p = ctx.params
+    rng = stdlib_random.Random(int(p["seed"]) * 977 + cta * 31 + warp)
+    regions = list(ctx.regions.values())
+    for _ in range(int(p["accesses"])):
+        region = rng.choice(regions)
+        span = region.pages * 32
+        roll = rng.random()
+        if roll < p["store_fraction"] and region.name == "out":
+            kind = AccessKind.STORE
+        elif roll < p["store_fraction"] + p["atomic_fraction"]:
+            kind = AccessKind.ATOMIC
+            region = ctx.region("out")
+            span = region.pages * 32
+        else:
+            kind = AccessKind.LOAD
+        targets = tuple(
+            region.line_target(rng.randrange(span))
+            for _ in range(rng.randint(1, 4))
+        )
+        yield MemAccess(kind, targets, space=region.name)
+        if rng.random() < 0.5:
+            yield Compute(rng.randint(1, 3))
+
+
+def _random_benchmark(data_pages, shared_pages, accesses, store_fraction,
+                      atomic_fraction, seed):
+    return Benchmark(
+        name="fuzz", abbr="FUZZ", sharing="high",
+        structures=(
+            StructureSpec("data", data_pages),
+            StructureSpec("shared", shared_pages),
+            StructureSpec("out", 4, written=True),
+        ),
+        kernels=(
+            KernelSpec("main", _random_body,
+                       reads=("data", "shared"), writes=("out",),
+                       atomics=("out",), ctas_per_sm=2),
+        ),
+        params={
+            "accesses": accesses,
+            "store_fraction": store_fraction,
+            "atomic_fraction": atomic_fraction,
+            "seed": seed,
+        },
+        seed=seed,
+    )
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    data_pages=st.integers(min_value=1, max_value=24),
+    shared_pages=st.integers(min_value=1, max_value=24),
+    accesses=st.integers(min_value=1, max_value=40),
+    store_fraction=st.floats(min_value=0.0, max_value=0.3),
+    atomic_fraction=st.floats(min_value=0.0, max_value=0.2),
+    seed=st.integers(min_value=0, max_value=10_000),
+    arch=st.sampled_from(list(Architecture)),
+    replication=st.sampled_from(list(ReplicationPolicy)),
+)
+def test_random_workloads_conserve_requests(
+    data_pages, shared_pages, accesses, store_fraction, atomic_fraction,
+    seed, arch, replication,
+):
+    bench = _random_benchmark(
+        data_pages, shared_pages, accesses, store_fraction,
+        atomic_fraction, seed,
+    )
+    topo = TopologySpec(architecture=arch, replication=replication,
+                        mdr_epoch=500)
+    system = build_system(GPU, topo)
+    workload = bench.instantiate(GPU)
+    result = system.run_workload(workload, max_cycles=1_000_000)
+    assert result.cycles > 0
+    assert system.audit() == []

@@ -1,0 +1,140 @@
+"""Set-sampling profiler and MDR controller tests."""
+
+import pytest
+
+from repro.cache.sampling import SetSampler
+from repro.config.topology import ReplicationPolicy
+from repro.core.bwmodel import BandwidthModel, ModelInputs
+from repro.core.mdr import MDRController
+
+INPUTS = ModelInputs(bw_llc=100.0, bw_mem=20.0, bw_noc=40.0)
+
+
+def _sampler():
+    return SetSampler(slice_sets=16, ways=4, sampled_sets=16)
+
+
+class TestSetSampler:
+    def test_local_remote_fractions(self):
+        sampler = _sampler()
+        for line in range(10):
+            sampler.observe(line, home_is_sampled_slice=True,
+                            requester_in_sampled_partition=True,
+                            is_read_only_shared=False)
+        for line in range(10, 15):
+            sampler.observe(line, home_is_sampled_slice=False,
+                            requester_in_sampled_partition=True,
+                            is_read_only_shared=True)
+        profile = sampler.snapshot()
+        assert profile.frac_local_norep == pytest.approx(10 / 15)
+        # Read-only remote turns local under full replication.
+        assert profile.frac_local_fullrep == pytest.approx(1.0)
+
+    def test_norep_shadow_tracks_home_stream(self):
+        sampler = _sampler()
+        # A tiny working set hit twice: second round all hits.
+        for _ in range(2):
+            for line in range(8):
+                sampler.observe(line, True, True, False)
+        profile = sampler.snapshot()
+        assert profile.hit_rate_norep == pytest.approx(0.5)
+
+    def test_fullrep_shadow_sees_replica_pressure(self):
+        sampler = _sampler()
+        # Home stream fits; replicas of remote read-only lines overflow
+        # the shadow -> full-replication hit rate must be lower.
+        for _ in range(2):
+            for line in range(32):
+                sampler.observe(line, line < 8, True, is_read_only_shared=True)
+        profile = sampler.snapshot()
+        assert profile.hit_rate_fullrep <= profile.hit_rate_norep + 1e-9
+
+    def test_remote_sharers_excluded_from_fullrep_shadow(self):
+        sampler = _sampler()
+        # Remote read-only sharers would hit their own replicas, so they
+        # must not pressure the sampled slice's full-rep shadow.
+        for line in range(8):
+            sampler.observe(line, home_is_sampled_slice=True,
+                            requester_in_sampled_partition=False,
+                            is_read_only_shared=True)
+        profile = sampler.snapshot()
+        # No accesses attributed to the sampled partition at all.
+        assert profile.observed == 0
+
+    def test_reset_epoch(self):
+        sampler = _sampler()
+        sampler.observe(0, True, True, False)
+        sampler.reset_epoch()
+        assert sampler.snapshot().observed == 0
+
+    def test_storage_budget_is_small(self):
+        sampler = SetSampler(slice_sets=48, ways=16, sampled_sets=8)
+        # Two shadow directories x 8 sets x 16 ways x 24 bits < 1 KB.
+        assert sampler.storage_bits <= 8192
+
+
+class TestMDRController:
+    def _controller(self, policy=ReplicationPolicy.MDR):
+        return MDRController(
+            model=BandwidthModel(INPUTS),
+            sampler=_sampler(),
+            policy=policy,
+        )
+
+    def test_static_policies(self):
+        assert self._controller(ReplicationPolicy.NONE).replicate is False
+        assert self._controller(ReplicationPolicy.FULL).replicate is True
+
+    def test_starts_conservative(self):
+        assert self._controller().replicate is False
+
+    def test_enables_replication_for_small_hot_remote_set(self):
+        controller = self._controller()
+        # Small remote read-only working set, revisited: both shadows hit.
+        for _ in range(4):
+            for line in range(8):
+                controller.sampler.observe(line, False, True, True)
+            for line in range(8, 12):
+                controller.sampler.observe(line, True, True, False)
+        controller.on_epoch(1000)
+        assert controller.replicate is True
+        assert controller.decisions[-1].bw_fullrep > (
+            controller.decisions[-1].bw_norep
+        )
+
+    def test_avoids_replication_for_thrashing_set(self):
+        controller = self._controller()
+        # Huge remote read-only stream (no reuse): replicating it buys
+        # nothing and destroys the hit rate.
+        for line in range(4000):
+            controller.sampler.observe(line, line % 16 == 0, True, True)
+        controller.on_epoch(1000)
+        assert controller.replicate is False
+
+    def test_empty_epoch_keeps_decision(self):
+        controller = self._controller()
+        controller.replicate = True
+        controller.on_epoch(1000)
+        assert controller.replicate is True
+        assert controller.decisions == []
+
+    def test_static_policy_ignores_epochs(self):
+        controller = self._controller(ReplicationPolicy.FULL)
+        for line in range(4000):
+            controller.sampler.observe(line, False, True, True)
+        controller.on_epoch(1000)
+        assert controller.replicate is True
+
+    def test_kernel_boundary_resets(self):
+        controller = self._controller()
+        controller.replicate = True
+        controller.on_kernel_boundary()
+        assert controller.replicate is False
+
+    def test_replication_epochs_counted(self):
+        controller = self._controller()
+        for _ in range(4):
+            for line in range(8):
+                controller.sampler.observe(line, False, True, True)
+        controller.on_epoch(1000)
+        assert controller.replication_epochs == int(controller.replicate)

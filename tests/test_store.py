@@ -1,0 +1,101 @@
+"""Result-store tests (JSON persistence + runner integration)."""
+
+import json
+
+import pytest
+
+from repro.config.presets import small_config
+from repro.config.topology import Architecture, ReplicationPolicy
+from repro.experiments.runner import ExperimentRunner, RunKey
+from repro.experiments.store import (
+    ResultStore,
+    key_fingerprint,
+    result_from_dict,
+    result_to_dict,
+)
+
+
+@pytest.fixture
+def runner():
+    return ExperimentRunner(base_gpu=small_config(num_channels=2,
+                                                  warps_per_sm=4))
+
+
+class TestFingerprint:
+    def test_stable(self):
+        assert key_fingerprint(RunKey("AN")) == key_fingerprint(RunKey("AN"))
+
+    def test_distinguishes_configs(self):
+        a = key_fingerprint(RunKey("AN"))
+        b = key_fingerprint(RunKey("AN", Architecture.NUBA))
+        c = key_fingerprint(RunKey("AN", noc_gbps=100.0))
+        assert len({a, b, c}) == 3
+
+    def test_filename_safe(self):
+        fp = key_fingerprint(RunKey("2MM", Architecture.NUBA))
+        assert "/" not in fp and " " not in fp
+
+
+class TestSerialization:
+    def test_round_trip(self, runner):
+        result = runner.run(RunKey("KMEANS"))
+        data = json.loads(json.dumps(result_to_dict(result)))
+        restored = result_from_dict(data)
+        assert restored.cycles == result.cycles
+        assert restored.energy.total == pytest.approx(result.energy.total)
+        assert restored.tracker == result.tracker
+
+    def test_schema_mismatch_rejected(self, runner):
+        result = runner.run(RunKey("KMEANS"))
+        data = result_to_dict(result)
+        data["_schema"] = -1
+        assert result_from_dict(data) is None
+
+
+class TestStore:
+    def test_save_and_load(self, runner, tmp_path):
+        store = ResultStore(tmp_path)
+        key = RunKey("KMEANS")
+        result = runner.run(key)
+        store.save(key, result)
+        assert len(store) == 1
+        loaded = store.load(key)
+        assert loaded is not None
+        assert loaded.cycles == result.cycles
+
+    def test_miss_on_unknown_key(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.load(RunKey("AN")) is None
+        assert store.misses == 1
+
+    def test_corrupt_file_treated_as_miss(self, runner, tmp_path):
+        store = ResultStore(tmp_path)
+        key = RunKey("KMEANS")
+        store.save(key, runner.run(key))
+        next(tmp_path.glob("*.json")).write_text("{not json")
+        assert store.load(key) is None
+
+    def test_clear(self, runner, tmp_path):
+        store = ResultStore(tmp_path)
+        key = RunKey("KMEANS")
+        store.save(key, runner.run(key))
+        store.clear()
+        assert len(store) == 0
+
+    def test_attach_avoids_resimulation(self, tmp_path):
+        gpu = small_config(num_channels=2, warps_per_sm=4)
+        key = RunKey("KMEANS", Architecture.NUBA,
+                     replication=ReplicationPolicy.NONE)
+
+        first = ExperimentRunner(base_gpu=gpu)
+        store = ResultStore(tmp_path)
+        store.attach(first)
+        first.run(key)
+        assert first.simulations_run == 1
+
+        second = ExperimentRunner(base_gpu=gpu)
+        store.attach(second)
+        result = second.run(key)
+        assert second.simulations_run == 0  # loaded from disk
+        assert result.cycles > 0
+        assert store.hits >= 1

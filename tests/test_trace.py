@@ -1,0 +1,97 @@
+"""Trace record/replay tests."""
+
+import io
+
+import pytest
+
+from repro.config.presets import small_config
+from repro.config.topology import Architecture, ReplicationPolicy, TopologySpec
+from repro.core.builders import build_system
+from repro.sim.request import AccessKind
+from repro.sm.warp import Barrier, Compute, MemAccess
+from repro.workloads.suite import get_benchmark
+from repro.workloads.trace import (
+    TraceWorkload,
+    _format_instruction,
+    _parse_instruction,
+    record_trace,
+    round_trip,
+)
+
+GPU = small_config(num_channels=2, warps_per_sm=4)
+
+
+class TestInstructionCodec:
+    @pytest.mark.parametrize("instr", [
+        Compute(3),
+        Barrier(),
+        MemAccess(AccessKind.LOAD, ((5, 7), (5, 8)), space="data"),
+        MemAccess(AccessKind.STORE, ((0, 0),), space="out"),
+        MemAccess(AccessKind.ATOMIC, ((2, 31),), space="counters"),
+        MemAccess(AccessKind.LOAD_RO, ((9, 1),), space="weights"),
+    ])
+    def test_round_trip(self, instr):
+        assert _parse_instruction(_format_instruction(instr)) == instr
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(ValueError):
+            _parse_instruction("xyz")
+
+
+class TestRecordReplay:
+    def test_trace_preserves_streams(self):
+        workload = get_benchmark("AN").instantiate(GPU)
+        replayed = round_trip(workload)
+        original = workload.compiled_kernels()
+        traced = replayed.compiled_kernels()
+        assert len(original) == len(traced)
+        for orig, trace in zip(original, traced):
+            assert orig.num_ctas == trace.num_ctas
+            assert orig.read_only_spaces == trace.read_only_spaces
+            assert list(orig.warp_factory(0, 0)) == list(
+                trace.warp_factory(0, 0)
+            )
+            assert list(orig.warp_factory(3, 1)) == list(
+                trace.warp_factory(3, 1)
+            )
+
+    def test_replay_simulates_identically(self):
+        """The trace is a faithful stand-in: same cycles, same stats."""
+        bench = get_benchmark("KMEANS")
+        topo = TopologySpec(architecture=Architecture.NUBA,
+                            replication=ReplicationPolicy.MDR,
+                            mdr_epoch=1000)
+        original = build_system(GPU, topo).run_workload(
+            bench.instantiate(GPU)
+        )
+        replayed_workload = round_trip(bench.instantiate(GPU))
+        replayed = build_system(GPU, topo).run_workload(replayed_workload)
+        assert replayed.cycles == original.cycles
+        assert replayed.loads_completed == original.loads_completed
+        assert replayed.local_fraction == original.local_fraction
+
+    def test_file_round_trip(self, tmp_path):
+        workload = get_benchmark("PVC").instantiate(GPU)
+        path = tmp_path / "pvc.trace"
+        lines = record_trace(workload, str(path))
+        assert lines > 0
+        replayed = TraceWorkload.load(str(path))
+        assert replayed.name.endswith("Page View Count")
+        result = build_system(
+            GPU, TopologySpec(architecture=Architecture.NUBA)
+        ).run_workload(replayed)
+        assert result.loads_completed > 0
+
+    def test_barriers_survive(self):
+        workload = get_benchmark("NW").instantiate(GPU)
+        replayed = round_trip(workload)
+        stream = list(replayed.compiled_kernels()[0].warp_factory(0, 0))
+        assert any(isinstance(i, Barrier) for i in stream)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceWorkload.load(io.StringIO(""))
+
+    def test_body_before_header_rejected(self):
+        with pytest.raises(ValueError):
+            TraceWorkload.load(io.StringIO("c 1\n"))
