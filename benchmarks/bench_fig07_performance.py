@@ -13,7 +13,8 @@ from conftest import run_once
 from repro.experiments import figures
 
 
-def test_fig07_performance(benchmark, runner, bench_subset):
+def test_fig07_performance(benchmark, runner, bench_subset, prewarm):
+    prewarm("fig7", bench_subset)
     result = run_once(
         benchmark,
         lambda: figures.fig7_performance(runner, bench_subset),

@@ -10,7 +10,9 @@ from conftest import run_once
 from repro.experiments import figures
 
 
-def test_fig08_perceived_bandwidth(benchmark, runner, bench_subset):
+def test_fig08_perceived_bandwidth(benchmark, runner, bench_subset,
+                                   prewarm):
+    prewarm("fig8", bench_subset)
     result = run_once(
         benchmark, lambda: figures.fig8_bandwidth(runner, bench_subset)
     )

@@ -12,7 +12,8 @@ from repro.experiments import figures
 from repro.workloads.suite import BENCHMARKS
 
 
-def test_fig09_local_remote(benchmark, runner, bench_subset):
+def test_fig09_local_remote(benchmark, runner, bench_subset, prewarm):
+    prewarm("fig9", bench_subset)
     result = run_once(
         benchmark,
         lambda: figures.fig9_miss_breakdown(runner, bench_subset),

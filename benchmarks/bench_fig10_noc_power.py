@@ -19,7 +19,9 @@ def _row_lookup(result, arch, point_label):
     raise AssertionError(f"missing row {arch} {point_label}")
 
 
-def test_fig10_noc_power_tradeoff(benchmark, runner, sweep_subset):
+def test_fig10_noc_power_tradeoff(benchmark, runner, sweep_subset,
+                                  prewarm):
+    prewarm("fig10", sweep_subset)
     result = run_once(
         benchmark, lambda: figures.fig10_noc_power(runner, sweep_subset)
     )

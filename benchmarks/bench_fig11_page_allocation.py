@@ -11,7 +11,8 @@ from repro.experiments import figures
 from repro.workloads.suite import BENCHMARKS
 
 
-def test_fig11_page_allocation(benchmark, runner, bench_subset):
+def test_fig11_page_allocation(benchmark, runner, bench_subset, prewarm):
+    prewarm("fig11", bench_subset)
     result = run_once(
         benchmark,
         lambda: figures.fig11_page_allocation(runner, bench_subset),

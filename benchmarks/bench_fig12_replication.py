@@ -17,8 +17,9 @@ WINNERS = ("2MM", "AN")
 LOSERS = ("BT", "BICG")
 
 
-def test_fig12_replication(benchmark, runner):
+def test_fig12_replication(benchmark, runner, prewarm):
     benches = ["2MM", "AN", "SN", "RN", "LEU", "BT", "GRU", "BICG", "SC"]
+    prewarm("fig12", benches)
     result = run_once(
         benchmark, lambda: figures.fig12_replication(runner, benches)
     )

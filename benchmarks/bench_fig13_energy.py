@@ -11,7 +11,8 @@ from conftest import run_once
 from repro.experiments import figures
 
 
-def test_fig13_energy(benchmark, runner, bench_subset):
+def test_fig13_energy(benchmark, runner, bench_subset, prewarm):
+    prewarm("fig13", bench_subset)
     result = run_once(
         benchmark, lambda: figures.fig13_energy(runner, bench_subset)
     )

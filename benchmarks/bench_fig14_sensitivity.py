@@ -19,7 +19,8 @@ def _series(result, axis):
     ]
 
 
-def test_fig14_sensitivity(benchmark, runner, sweep_subset):
+def test_fig14_sensitivity(benchmark, runner, sweep_subset, prewarm):
+    prewarm("fig14", sweep_subset)
     result = run_once(
         benchmark, lambda: figures.fig14_sensitivity(runner, sweep_subset)
     )

@@ -10,7 +10,8 @@ from conftest import run_once
 from repro.experiments import figures
 
 
-def test_fig16_mcm(benchmark, runner, sweep_subset):
+def test_fig16_mcm(benchmark, runner, sweep_subset, prewarm):
+    prewarm("fig16", sweep_subset)
     result = run_once(
         benchmark, lambda: figures.fig16_mcm(runner, sweep_subset)
     )

@@ -13,7 +13,8 @@ from repro.sim.stats import harmonic_mean
 from repro.workloads.suite import BENCHMARKS
 
 
-def test_sec76_alternatives(benchmark, runner, sweep_subset):
+def test_sec76_alternatives(benchmark, runner, sweep_subset, prewarm):
+    prewarm("sec76", sweep_subset)
     result = run_once(
         benchmark, lambda: figures.sec76_alternatives(runner, sweep_subset)
     )

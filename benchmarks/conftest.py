@@ -8,6 +8,19 @@ By default each bench uses a representative subset of the 29 Table 2
 benchmarks so ``pytest benchmarks/ --benchmark-only`` finishes in
 minutes. Set ``REPRO_BENCH_FULL=1`` to sweep the complete suite (hours),
 which is what EXPERIMENTS.md numbers were recorded with where noted.
+
+Environment knobs:
+
+* ``REPRO_BENCH_CACHE=dir`` -- persist results on disk so repeated
+  bench invocations (or a sweep killed half-way) resume instead of
+  re-simulating.
+* ``REPRO_BENCH_WORKERS=N`` -- before each figure runs, its declarative
+  sweep (see :mod:`repro.orchestrator.catalog`) is executed across N
+  worker processes via the
+  :class:`~repro.orchestrator.SweepOrchestrator`; the figure then
+  renders from cache. ``1`` (the default) keeps the historical serial
+  behaviour.
+* ``REPRO_BENCH_TIMEOUT=seconds`` -- per-point timeout in pool mode.
 """
 
 import os
@@ -32,16 +45,66 @@ def _full() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "") == "1"
 
 
+def _workers() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+def _timeout():
+    raw = os.environ.get("REPRO_BENCH_TIMEOUT", "")
+    try:
+        return float(raw) if raw else None
+    except ValueError:
+        return None
+
+
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
-    instance = ExperimentRunner()
+    store = None
     cache_dir = os.environ.get("REPRO_BENCH_CACHE", "")
     if cache_dir:
         # Persist results on disk so repeated bench invocations (e.g. a
         # verification run followed by a recorded run) simulate once.
         from repro.experiments.store import ResultStore
-        ResultStore(cache_dir).attach(instance)
-    return instance
+        store = ResultStore(cache_dir)
+    return ExperimentRunner(store=store)
+
+
+@pytest.fixture(scope="session")
+def orchestrator(runner):
+    from repro.orchestrator import ProgressReporter, SweepOrchestrator
+    workers = _workers()
+    return SweepOrchestrator(
+        runner,
+        workers=workers,
+        timeout=_timeout(),
+        progress=ProgressReporter(
+            stream="stderr" if workers > 1 else None, label="bench-sweep",
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def prewarm(orchestrator, runner):
+    """Run one figure's declarative sweep through the session
+    orchestrator so the figure itself renders from cache.
+
+    A no-op with ``REPRO_BENCH_WORKERS`` unset (or 1): the serial path
+    stays exactly as it always was.
+    """
+    from repro.orchestrator import figure_sweep
+
+    def _prewarm(figure: str, subset):
+        if orchestrator.workers <= 1:
+            return None
+        sweep = figure_sweep(figure, runner, subset)
+        if not len(sweep):
+            return None
+        return orchestrator.run(sweep)
+
+    return _prewarm
 
 
 @pytest.fixture(scope="session")

@@ -1,14 +1,20 @@
 """Command-line interface.
 
-Four subcommands::
+Subcommands::
 
     python -m repro list                     # catalogue of benchmarks
     python -m repro run --bench KMEANS --arch nuba [--replication mdr]
     python -m repro compare --bench KMEANS   # UBA vs NUBA side by side
-    python -m repro figure fig7 [--subset KMEANS AN ...]
+    python -m repro figure fig7 [--subset KMEANS AN ...] [--workers 4]
+    python -m repro sweep fig7 fig10 --workers 4 --store results/
+    python -m repro report --out report.md [--workers 4]
 
 The CLI drives the same public API the examples use; it exists so the
 headline experiments are reproducible without writing any Python.
+``figure``, ``sweep`` and ``report`` accept ``--workers`` to fan the
+underlying simulation points out across a process pool (see
+docs/ORCHESTRATOR.md) and ``--store`` to persist results on disk so
+interrupted sweeps resume instead of restarting.
 """
 
 from __future__ import annotations
@@ -101,6 +107,23 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="use all 29 benchmarks")
     figure.add_argument("--channels", type=int, default=None,
                         help="simulate a smaller GPU (memory channels)")
+    _add_orchestrator_args(figure)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run one or more figures' simulation points through the "
+             "parallel orchestrator, then render them",
+    )
+    sweep.add_argument("names", nargs="+",
+                       choices=sorted(FIGURES) + ["all"],
+                       help="figures to sweep ('all' = every figure)")
+    sweep.add_argument("--subset", nargs="*", default=None)
+    sweep.add_argument("--full", action="store_true",
+                       help="use all 29 benchmarks")
+    sweep.add_argument("--channels", type=int, default=None)
+    sweep.add_argument("--no-render", action="store_true",
+                       help="only run the sweep; don't print figures")
+    _add_orchestrator_args(sweep)
 
     report = sub.add_parser(
         "report",
@@ -110,7 +133,18 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="write the report to a file (default stdout)")
     report.add_argument("--subset", nargs="*", default=None)
     report.add_argument("--channels", type=int, default=None)
+    _add_orchestrator_args(report)
     return parser
+
+
+def _add_orchestrator_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="simulation worker processes (1 = inline)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-point timeout in seconds (pool mode)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="persist results under DIR; reruns resume "
+                             "from it instead of re-simulating")
 
 
 def _cmd_list() -> int:
@@ -189,32 +223,85 @@ def _cmd_compare(args) -> int:
 DEFAULT_SUBSET = ["KMEANS", "DWT2D", "LBM", "AN", "2MM", "BT", "SC"]
 
 
-def _make_runner(channels: Optional[int]) -> ExperimentRunner:
-    if channels is None:
-        return ExperimentRunner()
-    return ExperimentRunner(base_gpu=small_config(num_channels=channels))
+def _make_runner(channels: Optional[int],
+                 store_dir: Optional[str] = None) -> ExperimentRunner:
+    store = None
+    if store_dir:
+        from repro.experiments.store import ResultStore
+        store = ResultStore(store_dir)
+    gpu = None
+    if channels is not None:
+        gpu = small_config(num_channels=channels)
+    return ExperimentRunner(base_gpu=gpu, store=store)
+
+
+def _figure_subset(args) -> Optional[List[str]]:
+    if args.full:
+        return None
+    if args.subset:
+        return args.subset
+    return DEFAULT_SUBSET
+
+
+def _prewarm(runner: ExperimentRunner, names, subset, args) -> int:
+    """Run the named figures' sweeps through the orchestrator; returns
+    the number of permanently failed points."""
+    from repro.orchestrator import (
+        ProgressReporter,
+        SweepOrchestrator,
+        figure_sweep,
+    )
+    sweeps = [figure_sweep(name, runner, subset) for name in names]
+    sweeps = [sweep for sweep in sweeps if len(sweep)]
+    if not sweeps:
+        return 0
+    orchestrator = SweepOrchestrator(
+        runner, workers=args.workers, timeout=args.timeout,
+        progress=ProgressReporter(),
+    )
+    report = orchestrator.run(*sweeps)
+    print(f"sweep: {report.summary()}", file=sys.stderr)
+    for failure in report.failures:
+        print(f"sweep: FAILED {failure.label} after {failure.attempts} "
+              f"attempts: {failure.error}", file=sys.stderr)
+    return len(report.failures)
 
 
 def _cmd_figure(args) -> int:
-    runner = _make_runner(args.channels)
-    subset: Optional[List[str]]
-    if args.full:
-        subset = None
-    elif args.subset:
-        subset = args.subset
-    else:
-        subset = DEFAULT_SUBSET
+    runner = _make_runner(args.channels, args.store)
+    subset = _figure_subset(args)
+    if args.workers > 1:
+        _prewarm(runner, [args.name], subset, args)
     result = FIGURES[args.name](runner, subset)
     print(result.render())
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    runner = _make_runner(args.channels, args.store)
+    subset = _figure_subset(args)
+    names = sorted(FIGURES) if "all" in args.names else list(
+        dict.fromkeys(args.names)
+    )
+    failed = _prewarm(runner, names, subset, args)
+    if not args.no_render:
+        sections = [FIGURES[name](runner, subset).render()
+                    for name in names]
+        print("\n\n".join(sections))
+    return 1 if failed else 0
+
+
+REPORT_FIGURES = ("table2", "fig3", "fig7", "fig8", "fig9", "fig11",
+                  "fig12", "fig13")
+
+
 def _cmd_report(args) -> int:
-    runner = _make_runner(args.channels)
+    runner = _make_runner(args.channels, args.store)
     subset = args.subset or DEFAULT_SUBSET
+    if args.workers > 1:
+        _prewarm(runner, list(REPORT_FIGURES), subset, args)
     sections = []
-    for name in ("table2", "fig3", "fig7", "fig8", "fig9", "fig11",
-                 "fig12", "fig13"):
+    for name in REPORT_FIGURES:
         result = FIGURES[name](runner, subset)
         sections.append(result.render())
     text = "\n\n".join(sections) + "\n"
@@ -238,6 +325,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "report":
         return _cmd_report(args)
     raise AssertionError("unreachable")

@@ -70,15 +70,25 @@ class RunKey:
 
 
 class ExperimentRunner:
-    """Runs and caches experiment points."""
+    """Runs and caches experiment points.
+
+    ``store`` is an optional :class:`~repro.experiments.store.ResultStore`
+    (or anything with the same ``load``/``save`` signature): when set,
+    ``run`` consults the store before simulating and persists every new
+    result, keyed by the RunKey *and* this runner's settings
+    (:meth:`cache_settings`), so sweeps are resumable across processes.
+    """
 
     def __init__(self, base_gpu: Optional[GPUConfig] = None,
                  mdr_epoch: int = SCALED_MDR_EPOCH,
-                 max_cycles: int = 3_000_000) -> None:
+                 max_cycles: int = 3_000_000,
+                 store=None) -> None:
         self.base_gpu = base_gpu if base_gpu is not None else small_config()
         self.mdr_epoch = mdr_epoch
         self.max_cycles = max_cycles
+        self.store = store
         self._cache: Dict[RunKey, RunResult] = {}
+        self._system_cache: Dict[RunKey, GPUSystem] = {}
         self.simulations_run = 0
 
     # ------------------------------------------------------------------
@@ -161,26 +171,65 @@ class ExperimentRunner:
     # Execution.
     # ------------------------------------------------------------------
 
-    def run(self, key: RunKey) -> RunResult:
-        """Run (or fetch from cache) one experiment point."""
+    def cache_settings(self) -> Dict[str, int]:
+        """Runner settings that change results without appearing in the
+        RunKey; folded into store fingerprints so two runners with
+        different settings never share disk entries."""
+        return {"mdr_epoch": self.mdr_epoch, "max_cycles": self.max_cycles}
+
+    def lookup(self, key: RunKey) -> Optional[RunResult]:
+        """Fetch a result from the in-memory cache or the store, or
+        None if the point has never been simulated."""
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        system = self.build(key)
-        gpu = system.gpu
-        workload = get_benchmark(key.benchmark).instantiate(gpu)
-        result = system.run_workload(workload, max_cycles=self.max_cycles)
-        self._cache[key] = result
-        self.simulations_run += 1
-        return result
+        if self.store is not None:
+            stored = self.store.load(key, settings=self.cache_settings())
+            if stored is not None:
+                self._cache[key] = stored
+                return stored
+        return None
 
-    def run_system(self, key: RunKey):
-        """Run and return the *system* too (for figure-specific stats
-        such as sharing histograms); not cached."""
+    def publish(self, key: RunKey, result: RunResult) -> None:
+        """Record a result in the in-memory cache and the store (used
+        by the sweep orchestrator to inject worker-produced results)."""
+        self._cache[key] = result
+        if self.store is not None:
+            self.store.save(key, result, settings=self.cache_settings())
+
+    def _simulate(self, key: RunKey):
         system = self.build(key)
         workload = get_benchmark(key.benchmark).instantiate(system.gpu)
         result = system.run_workload(workload, max_cycles=self.max_cycles)
         self.simulations_run += 1
+        return system, result
+
+    def run(self, key: RunKey) -> RunResult:
+        """Run (or fetch from cache/store) one experiment point."""
+        cached = self.lookup(key)
+        if cached is not None:
+            return cached
+        _, result = self._simulate(key)
+        self.publish(key, result)
+        return result
+
+    def run_system(self, key: RunKey):
+        """Run and return the *system* too (for figure-specific stats
+        such as sharing histograms).
+
+        The RunResult half goes through the same cache path as
+        :meth:`run`, so a figure that inspects the system also warms
+        the caches for every other figure sharing the point; the system
+        itself is kept in memory so repeated calls don't re-simulate.
+        """
+        system = self._system_cache.get(key)
+        if system is not None:
+            result = self.lookup(key)
+            if result is not None:
+                return system, result
+        system, result = self._simulate(key)
+        self._system_cache[key] = system
+        self.publish(key, result)
         return system, result
 
     def speedup(self, key: RunKey, baseline: RunKey) -> float:

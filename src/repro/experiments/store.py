@@ -2,16 +2,27 @@
 
 Simulations are the expensive part of every experiment, so results can
 be persisted as JSON keyed by the :class:`~repro.experiments.runner.RunKey`
-and reused across processes (e.g. between bench invocations, or when
-regenerating EXPERIMENTS.md). The store is a plain directory of JSON
-files -- friendly to version control and manual inspection.
+and reused across processes (e.g. between bench invocations, between
+orchestrated sweep workers, or when regenerating EXPERIMENTS.md). The
+store is a plain directory of JSON files -- friendly to version control
+and manual inspection.
 
 Usage::
 
-    runner = ExperimentRunner()
     store = ResultStore("results/")
-    store.attach(runner)          # hits disk before simulating
-    runner.run(RunKey("KMEANS"))  # simulated once, then cached on disk
+    runner = ExperimentRunner(store=store)  # hits disk before simulating
+    runner.run(RunKey("KMEANS"))            # simulated once, then cached
+
+Two correctness properties the sweep orchestrator leans on:
+
+* **Fingerprints cover runner settings.** ``RunKey`` is not the whole
+  story: ``ExperimentRunner.mdr_epoch`` and ``max_cycles`` also change
+  results, so they are folded into the fingerprint (the ``settings``
+  argument). Two runners with different settings never share entries.
+* **Writes are atomic.** ``save`` writes to a temporary file in the
+  same directory and renames it into place, so a sweep killed mid-write
+  cannot leave a truncated JSON behind that ``load`` would then count
+  as a permanent miss (corrupt entries are unlinked on load instead).
 """
 
 from __future__ import annotations
@@ -19,27 +30,38 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.core.system import RunResult
 from repro.experiments.runner import ExperimentRunner, RunKey
 from repro.power.energy import EnergyBreakdown
 
-#: Bump when RunResult's schema changes; stale entries are ignored.
-SCHEMA_VERSION = 2
+#: Bump when RunResult's schema *or* the fingerprint inputs change;
+#: stale entries are ignored. v3: runner settings joined the fingerprint.
+SCHEMA_VERSION = 3
 
 
-def key_fingerprint(key: RunKey) -> str:
-    """A stable filename-safe fingerprint of a RunKey."""
-    payload = json.dumps(
-        {
-            field.name: _plain(getattr(key, field.name))
-            for field in dataclasses.fields(key)
-        },
-        sort_keys=True,
-    )
-    digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+def key_fingerprint(key: RunKey,
+                    settings: Optional[Mapping[str, object]] = None) -> str:
+    """A stable filename-safe fingerprint of a RunKey.
+
+    ``settings`` carries the runner knobs that change results without
+    appearing in the key (see :meth:`ExperimentRunner.cache_settings`);
+    distinct settings hash to distinct fingerprints.
+    """
+    payload = {
+        field.name: _plain(getattr(key, field.name))
+        for field in dataclasses.fields(key)
+    }
+    if settings:
+        payload["_settings"] = {
+            name: _plain(settings[name]) for name in sorted(settings)
+        }
+    text = json.dumps(payload, sort_keys=True)
+    digest = hashlib.sha256(text.encode()).hexdigest()[:16]
     return f"{key.benchmark}_{key.architecture.value}_{digest}"
 
 
@@ -75,12 +97,15 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
 
-    def _path(self, key: RunKey) -> Path:
-        return self.root / f"{key_fingerprint(key)}.json"
+    def _path(self, key: RunKey,
+              settings: Optional[Mapping[str, object]] = None) -> Path:
+        return self.root / f"{key_fingerprint(key, settings)}.json"
 
-    def load(self, key: RunKey) -> Optional[RunResult]:
+    def load(self, key: RunKey,
+             settings: Optional[Mapping[str, object]] = None
+             ) -> Optional[RunResult]:
         """Fetch a persisted result, or None on miss/corruption."""
-        path = self._path(key)
+        path = self._path(key, settings)
         if not path.exists():
             self.misses += 1
             return None
@@ -89,14 +114,40 @@ class ResultStore:
         except (json.JSONDecodeError, TypeError, KeyError):
             result = None
         if result is None:
+            # Corrupt or stale-schema entry: drop it so the next save
+            # replaces it rather than shadowing a fresh result forever.
+            try:
+                path.unlink()
+            except OSError:
+                pass
             self.misses += 1
             return None
         self.hits += 1
         return result
 
-    def save(self, key: RunKey, result: RunResult) -> None:
-        """Persist one result under its key's fingerprint."""
-        self._path(key).write_text(json.dumps(result_to_dict(result)))
+    def save(self, key: RunKey, result: RunResult,
+             settings: Optional[Mapping[str, object]] = None) -> None:
+        """Atomically persist one result under its key's fingerprint.
+
+        The JSON is written to a temporary file in the store directory
+        and renamed into place, so concurrent writers and interrupted
+        sweeps can never produce a half-written entry.
+        """
+        path = self._path(key, settings)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=self.root, prefix=path.stem + ".", suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                handle.write(json.dumps(result_to_dict(result)))
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
@@ -111,17 +162,11 @@ class ResultStore:
     # ------------------------------------------------------------------
 
     def attach(self, runner: ExperimentRunner) -> ExperimentRunner:
-        """Wrap a runner's ``run`` so results persist across processes."""
-        original_run = runner.run
+        """Attach this store to a runner (compatibility helper).
 
-        def run_with_store(key: RunKey) -> RunResult:
-            cached = self.load(key)
-            if cached is not None:
-                runner._cache[key] = cached
-                return cached
-            result = original_run(key)
-            self.save(key, result)
-            return result
+        Prefer passing the store at construction time::
 
-        runner.run = run_with_store  # type: ignore[method-assign]
+            runner = ExperimentRunner(store=ResultStore("results/"))
+        """
+        runner.store = self
         return runner

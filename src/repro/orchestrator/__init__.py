@@ -1,0 +1,24 @@
+"""Parallel sweep orchestration: declarative grids of experiment
+points executed across a fault-tolerant process pool, resumable via
+the persistent result store."""
+
+from repro.orchestrator.catalog import FIGURE_SWEEPS, SWEEPABLE, figure_sweep
+from repro.orchestrator.orchestrator import (
+    PointFailure,
+    SweepOrchestrator,
+    SweepReport,
+)
+from repro.orchestrator.progress import ProgressReporter
+from repro.orchestrator.sweep import Sweep, SweepPoint
+
+__all__ = [
+    "FIGURE_SWEEPS",
+    "SWEEPABLE",
+    "figure_sweep",
+    "PointFailure",
+    "SweepOrchestrator",
+    "SweepReport",
+    "ProgressReporter",
+    "Sweep",
+    "SweepPoint",
+]

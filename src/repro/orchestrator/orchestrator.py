@@ -1,0 +1,385 @@
+"""Process-pool sweep execution with fault tolerance and resume.
+
+Independent simulation points are embarrassingly parallel, so the
+:class:`SweepOrchestrator` fans the unique RunKeys of one or more
+:class:`~repro.orchestrator.sweep.Sweep`\\ s out to a
+``ProcessPoolExecutor`` and streams completed results back through the
+parent runner's cache/store path (``ExperimentRunner.publish``), which
+makes interrupted sweeps resumable: re-running skips every point the
+store already holds.
+
+Fault tolerance, in order of escalation:
+
+* a worker raising an exception costs that point one attempt; the point
+  is retried up to ``retries`` times, then recorded as a
+  :class:`PointFailure` without sinking the rest of the sweep;
+* a point exceeding ``timeout`` seconds is treated the same way, and
+  the pool is killed and rebuilt (with exponential backoff) because a
+  hung worker cannot be cancelled any other way;
+* a broken pool (worker killed by the OS, say) is rebuilt the same way,
+  re-queueing everything that was in flight;
+* after ``max_pool_restarts`` rebuilds -- or if a pool cannot be
+  created at all -- the orchestrator degrades gracefully to inline
+  serial execution in the parent process, as it also does for
+  ``workers=1`` (where the pool would only add overhead).
+
+Results are bitwise identical to the serial path: workers run the exact
+same ``ExperimentRunner._simulate`` on deterministic, seeded workloads.
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.system import RunResult
+from repro.experiments.runner import ExperimentRunner, RunKey
+from repro.orchestrator.progress import ProgressReporter
+from repro.orchestrator.sweep import Sweep
+
+# ----------------------------------------------------------------------
+# Worker-process side. The initializer builds one runner per worker
+# process (the GPU config is pickled once, not per point); tasks then
+# only ship a RunKey out and a RunResult back.
+# ----------------------------------------------------------------------
+
+_WORKER_RUNNER: Optional[ExperimentRunner] = None
+
+
+def _worker_init(base_gpu, mdr_epoch: int, max_cycles: int) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = ExperimentRunner(
+        base_gpu=base_gpu, mdr_epoch=mdr_epoch, max_cycles=max_cycles,
+    )
+
+
+def _worker_run(key: RunKey) -> RunResult:
+    assert _WORKER_RUNNER is not None, "worker initializer did not run"
+    return _WORKER_RUNNER.run(key)
+
+
+@dataclass
+class PointFailure:
+    """A point that exhausted its attempts."""
+
+    key: RunKey
+    label: str
+    error: str
+    attempts: int
+
+
+@dataclass
+class SweepReport:
+    """What happened to every point of an orchestrated sweep."""
+
+    results: Dict[RunKey, RunResult] = field(default_factory=dict)
+    failures: List[PointFailure] = field(default_factory=list)
+    cache_hits: int = 0
+    simulated: int = 0
+    retries: int = 0
+    pool_restarts: int = 0
+    duplicates: int = 0
+    wall_seconds: float = 0.0
+    mode: str = "pool"
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        """One-line human summary of the sweep outcome."""
+        parts = [
+            f"{len(self.results)} points",
+            f"{self.simulated} simulated",
+            f"{self.cache_hits} cached",
+            f"{self.duplicates} deduplicated",
+        ]
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.pool_restarts:
+            parts.append(f"{self.pool_restarts} pool restarts")
+        if self.failures:
+            parts.append(f"{len(self.failures)} FAILED")
+        parts.append(f"{self.wall_seconds:.1f}s wall ({self.mode})")
+        return ", ".join(parts)
+
+
+class SweepOrchestrator:
+    """Executes sweeps across a process pool, serially as a fallback."""
+
+    def __init__(self, runner: ExperimentRunner,
+                 workers: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 retries: int = 2,
+                 backoff: float = 0.5,
+                 max_pool_restarts: int = 3,
+                 progress: Optional[ProgressReporter] = None,
+                 task_fn: Optional[Callable[[RunKey], RunResult]] = None,
+                 ) -> None:
+        self.runner = runner
+        self.workers = workers if workers is not None else (
+            os.cpu_count() or 1
+        )
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff = backoff
+        self.max_pool_restarts = max_pool_restarts
+        self.progress = progress if progress is not None else (
+            ProgressReporter(stream=None)
+        )
+        #: The function a worker runs for one point; overridable for
+        #: tests and custom execution backends. Must be picklable
+        #: (module-level) when a process pool is used.
+        self.task_fn = task_fn
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+
+    def run(self, *sweeps: Sweep) -> SweepReport:
+        """Execute every unique point of the given sweeps.
+
+        Identical RunKeys appearing in several sweeps (or several times
+        within one) are simulated once. Completed results are published
+        to the runner's cache and store as they arrive, so the figures
+        that consume them afterwards hit cache, and an interrupted
+        sweep resumes from the store on the next invocation.
+        """
+        report = SweepReport()
+        started = time.monotonic()
+
+        labels: Dict[RunKey, str] = {}
+        requested = 0
+        for sweep in sweeps:
+            for point in sweep:
+                requested += 1
+                labels.setdefault(point.key, point.label)
+        report.duplicates = requested - len(labels)
+
+        self.progress.start(total=len(labels), workers=self.workers)
+
+        # Resume: skip everything the cache/store already holds.
+        pending: "collections.OrderedDict[RunKey, str]" = (
+            collections.OrderedDict()
+        )
+        for key, label in labels.items():
+            cached = self.runner.lookup(key)
+            if cached is not None:
+                report.results[key] = cached
+                report.cache_hits += 1
+                self.progress.cache_hit(label)
+            else:
+                pending[key] = label
+
+        if pending:
+            if self.workers <= 1:
+                report.mode = "inline"
+                self._run_inline(pending, report)
+            else:
+                report.mode = "pool"
+                self._run_pool(pending, report)
+
+        report.wall_seconds = time.monotonic() - started
+        self.progress.finish()
+        return report
+
+    # ------------------------------------------------------------------
+    # Inline (serial) execution: workers=1 and terminal degradation.
+    # ------------------------------------------------------------------
+
+    def _execute_inline(self, key: RunKey) -> RunResult:
+        if self.task_fn is not None:
+            result = self.task_fn(key)
+            self.runner.publish(key, result)
+            return result
+        return self.runner.run(key)
+
+    def _run_inline(self, pending: Dict[RunKey, str],
+                    report: SweepReport) -> None:
+        for key, label in pending.items():
+            attempts = 0
+            while True:
+                attempts += 1
+                begun = time.monotonic()
+                try:
+                    result = self._execute_inline(key)
+                except Exception as exc:  # noqa: BLE001 -- recorded
+                    if attempts <= self.retries:
+                        report.retries += 1
+                        self.progress.point_retried(label, str(exc),
+                                                    attempts)
+                        time.sleep(self.backoff * (2 ** (attempts - 1)))
+                        continue
+                    report.failures.append(
+                        PointFailure(key, label, str(exc), attempts)
+                    )
+                    self.progress.point_failed(label, str(exc))
+                    break
+                report.results[key] = result
+                report.simulated += 1
+                self.progress.point_done(label, time.monotonic() - begun)
+                break
+
+    # ------------------------------------------------------------------
+    # Pool execution.
+    # ------------------------------------------------------------------
+
+    def _make_pool(self) -> Optional[ProcessPoolExecutor]:
+        try:
+            if self.task_fn is not None:
+                return ProcessPoolExecutor(max_workers=self.workers)
+            return ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_worker_init,
+                initargs=(self.runner.base_gpu, self.runner.mdr_epoch,
+                          self.runner.max_cycles),
+            )
+        except Exception:  # noqa: BLE001 -- e.g. sandboxed /dev/shm
+            return None
+
+    def _kill_pool(self, pool: Optional[ProcessPoolExecutor]) -> None:
+        # After shutdown() the executor sets _processes to None, so a
+        # second kill (restart path, then the final cleanup) must not
+        # trip over it.
+        if pool is None:
+            return
+        for process in (getattr(pool, "_processes", None) or {}).values():
+            try:
+                process.terminate()
+            except Exception:  # noqa: BLE001 -- already gone
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 -- pool already broken
+            pass
+
+    def _run_pool(self, pending: Dict[RunKey, str],
+                  report: SweepReport) -> None:
+        queue: Deque[RunKey] = collections.deque(pending)
+        labels = dict(pending)
+        attempts: Dict[RunKey, int] = collections.defaultdict(int)
+        restarts = 0
+
+        pool = self._make_pool()
+        if pool is None:
+            self.progress.note("process pool unavailable; "
+                               "running inline")
+            report.mode = "inline"
+            self._run_inline(pending, report)
+            return
+
+        task = self.task_fn if self.task_fn is not None else _worker_run
+        inflight: Dict[object, Tuple[RunKey, float]] = {}
+        tick = 0.1 if self.timeout is not None else 0.5
+
+        def fail_or_requeue(key: RunKey, reason: str) -> None:
+            if attempts[key] <= self.retries:
+                report.retries += 1
+                self.progress.point_retried(labels[key], reason,
+                                            attempts[key])
+                queue.append(key)
+            else:
+                report.failures.append(
+                    PointFailure(key, labels[key], reason, attempts[key])
+                )
+                self.progress.point_failed(labels[key], reason)
+
+        def restart_pool(reason: str) -> bool:
+            """Rebuild the pool; False means degrade to inline."""
+            nonlocal pool, restarts
+            restarts += 1
+            report.pool_restarts += 1
+            self._kill_pool(pool)
+            for fut, (key, _) in inflight.items():
+                queue.appendleft(key)
+            inflight.clear()
+            if restarts > self.max_pool_restarts:
+                self.progress.note(
+                    f"pool died {restarts} times ({reason}); "
+                    "degrading to inline execution"
+                )
+                return False
+            time.sleep(self.backoff * (2 ** (restarts - 1)))
+            self.progress.note(f"restarting worker pool ({reason})")
+            pool = self._make_pool()
+            if pool is None:
+                self.progress.note("pool restart failed; "
+                                   "degrading to inline execution")
+                return False
+            return True
+
+        try:
+            while queue or inflight:
+                while queue and len(inflight) < self.workers:
+                    key = queue.popleft()
+                    attempts[key] += 1
+                    future = pool.submit(task, key)
+                    inflight[future] = (key, time.monotonic())
+
+                done, _ = wait(list(inflight), timeout=tick,
+                               return_when=FIRST_COMPLETED)
+
+                broken: Optional[str] = None
+                for future in done:
+                    key, begun = inflight.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        # Can't tell which worker died; re-queue this
+                        # point and everything else in flight.
+                        fail_or_requeue(key, "worker process died")
+                        broken = "worker process died"
+                        break
+                    except Exception as exc:  # noqa: BLE001 -- recorded
+                        fail_or_requeue(key, str(exc))
+                    else:
+                        self.runner.publish(key, result)
+                        report.results[key] = result
+                        report.simulated += 1
+                        self.progress.point_done(
+                            labels[key], time.monotonic() - begun
+                        )
+
+                if broken is not None:
+                    if not restart_pool(broken):
+                        break
+                    continue
+
+                if self.timeout is not None and inflight:
+                    now = time.monotonic()
+                    expired = [
+                        future for future, (_, begun) in inflight.items()
+                        if now - begun > self.timeout
+                    ]
+                    if expired:
+                        for future in expired:
+                            key, _ = inflight.pop(future)
+                            fail_or_requeue(
+                                key,
+                                f"timed out after {self.timeout:g}s",
+                            )
+                        # Hung workers can't be cancelled -- rebuild the
+                        # pool so their slots come back (unless the
+                        # sweep is over anyway).
+                        if not (queue or inflight):
+                            break
+                        if not restart_pool("point timeout"):
+                            break
+        finally:
+            self._kill_pool(pool)
+
+        # Terminal degradation: whatever the pool never finished runs
+        # inline (points that already failed permanently stay failed).
+        leftovers = collections.OrderedDict(
+            (key, labels[key]) for key in queue
+        )
+        for future, (key, _) in inflight.items():
+            leftovers.setdefault(key, labels[key])
+        if leftovers:
+            report.mode = "pool+inline"
+            self._run_inline(leftovers, report)

@@ -1,0 +1,161 @@
+"""Progress and ETA reporting for long sweeps.
+
+A sweep over the full 29-benchmark suite runs for hours; without
+feedback it is indistinguishable from a hang. :class:`ProgressReporter`
+tracks completed points, cache hits, failures, per-point wall-clock and
+worker utilization, and periodically emits one-line updates with an
+ETA. With ``stream=None`` it stays silent but still accumulates the
+statistics the orchestrator folds into its report.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds < 90:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    if minutes < 90:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressReporter:
+    """Counts sweep events and prints rate/ETA lines to a stream."""
+
+    def __init__(self, stream="stderr", min_interval: float = 2.0,
+                 label: str = "sweep") -> None:
+        #: ``"stderr"`` (default) resolves at call time; ``None`` means
+        #: silent; anything else is used as a text stream directly.
+        self.stream: Optional[TextIO] = (
+            sys.stderr if stream == "stderr" else stream
+        )
+        self.min_interval = min_interval
+        self.label = label
+        self.total = 0
+        self.workers = 1
+        self.executed = 0
+        self.cached = 0
+        self.failed = 0
+        self.retried = 0
+        self.busy_seconds = 0.0
+        self._started_at: Optional[float] = None
+        self._last_emit = 0.0
+
+    # ------------------------------------------------------------------
+    # Events (called by the orchestrator).
+    # ------------------------------------------------------------------
+
+    def start(self, total: int, workers: int) -> None:
+        """Begin a sweep of ``total`` points on ``workers`` workers."""
+        self.total = total
+        self.workers = max(1, workers)
+        self._started_at = time.monotonic()
+        self._emit(force=True)
+
+    def cache_hit(self, label: str) -> None:
+        """A point was satisfied by the cache/store without running."""
+        self.cached += 1
+        self._emit()
+
+    def point_done(self, label: str, elapsed: float) -> None:
+        """A point finished simulating after ``elapsed`` seconds."""
+        self.executed += 1
+        self.busy_seconds += max(0.0, elapsed)
+        self._emit()
+
+    def point_failed(self, label: str, reason: str) -> None:
+        """A point exhausted its attempts and was recorded as failed."""
+        self.failed += 1
+        self.note(f"FAILED {label}: {reason}")
+        self._emit(force=True)
+
+    def point_retried(self, label: str, reason: str, attempt: int) -> None:
+        """A point failed attempt ``attempt`` and was re-queued."""
+        self.retried += 1
+        self.note(f"retry #{attempt} {label}: {reason}")
+
+    def note(self, message: str) -> None:
+        """Emit a free-form event line (pool restarts, degradation)."""
+        if self.stream is not None:
+            print(f"[{self.label}] {message}", file=self.stream, flush=True)
+
+    # ------------------------------------------------------------------
+    # Derived metrics.
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> int:
+        return self.executed + self.cached + self.failed
+
+    def wall_seconds(self) -> float:
+        """Wall-clock seconds since :meth:`start`."""
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    def seconds_per_point(self) -> float:
+        """Mean simulation wall-clock per executed point."""
+        if self.executed == 0:
+            return 0.0
+        return self.busy_seconds / self.executed
+
+    def utilization(self) -> float:
+        """Fraction of worker capacity spent simulating so far."""
+        wall = self.wall_seconds()
+        if wall <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (wall * self.workers))
+
+    def eta_seconds(self) -> Optional[float]:
+        """Estimated seconds to finish, or None before any point ran."""
+        remaining = self.total - self.done
+        if remaining <= 0 or self.executed == 0:
+            return 0.0 if remaining <= 0 else None
+        return remaining * self.seconds_per_point() / self.workers
+
+    # ------------------------------------------------------------------
+    # Rendering.
+    # ------------------------------------------------------------------
+
+    def status_line(self) -> str:
+        """The one-line progress rendering (also emitted periodically)."""
+        parts = [
+            f"{self.done}/{self.total} points",
+            f"{self.cached} cached",
+        ]
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        if self.executed:
+            parts.append(f"{self.seconds_per_point():.2f}s/point")
+            parts.append(f"util {self.utilization() * 100:.0f}%")
+        eta = self.eta_seconds()
+        if eta is not None and self.done < self.total:
+            parts.append(f"ETA {_fmt_seconds(eta)}")
+        return f"[{self.label}] " + " | ".join(parts)
+
+    def _emit(self, force: bool = False) -> None:
+        if self.stream is None:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_emit < self.min_interval:
+            return
+        self._last_emit = now
+        print(self.status_line(), file=self.stream, flush=True)
+
+    def finish(self) -> None:
+        """Emit the final summary line."""
+        if self.stream is None:
+            return
+        wall = _fmt_seconds(self.wall_seconds())
+        print(
+            f"[{self.label}] done: {self.executed} simulated, "
+            f"{self.cached} cached, {self.failed} failed, "
+            f"{self.retried} retries in {wall}",
+            file=self.stream, flush=True,
+        )

@@ -1,0 +1,112 @@
+"""Declarative sweeps: labelled grids of experiment points.
+
+A :class:`Sweep` is nothing but an ordered list of (label, RunKey)
+pairs -- the full description of what a figure or study needs to
+simulate, separated from *how* it is executed. The CLI, the benchmark
+harness and the figure catalogue all build Sweeps and hand them to the
+:class:`~repro.orchestrator.orchestrator.SweepOrchestrator`, which
+deduplicates identical keys across sweeps (Figures 7, 8, 9 and 13
+share most of their points) before fanning them out to workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple, Union,
+)
+
+from repro.experiments.runner import RunKey
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One labelled experiment point inside a sweep."""
+
+    label: str
+    key: RunKey
+
+
+PointLike = Union[RunKey, SweepPoint, Tuple[str, RunKey]]
+
+
+@dataclass
+class Sweep:
+    """An ordered, labelled grid of RunKeys."""
+
+    name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    @classmethod
+    def of(cls, name: str, points: Iterable[PointLike]) -> "Sweep":
+        """Build a sweep from RunKeys, (label, key) pairs or points."""
+        built: List[SweepPoint] = []
+        for point in points:
+            if isinstance(point, SweepPoint):
+                built.append(point)
+            elif isinstance(point, RunKey):
+                built.append(SweepPoint(point.describe(), point))
+            else:
+                label, key = point
+                built.append(SweepPoint(label, key))
+        return cls(name, built)
+
+    @classmethod
+    def grid(cls, name: str, benchmarks: Sequence[str],
+             variants: Mapping[str, Mapping[str, object]]) -> "Sweep":
+        """The cross product of benchmarks and keyword variants.
+
+        ``variants`` maps a variant label to the RunKey kwargs of that
+        configuration; labels come out as ``"<bench>/<variant>"``::
+
+            Sweep.grid("fig7", ["KMEANS", "AN"], {
+                "uba": {"architecture": Architecture.MEM_SIDE_UBA},
+                "nuba": {"architecture": Architecture.NUBA,
+                         "replication": ReplicationPolicy.MDR},
+            })
+        """
+        points = [
+            SweepPoint(f"{bench}/{label}", RunKey(bench, **dict(kwargs)))
+            for bench in benchmarks
+            for label, kwargs in variants.items()
+        ]
+        return cls(name, points)
+
+    @classmethod
+    def merge(cls, name: str, sweeps: Iterable["Sweep"]) -> "Sweep":
+        """Concatenate sweeps (duplicates are kept; the orchestrator
+        deduplicates by key at execution time)."""
+        merged: List[SweepPoint] = []
+        for sweep in sweeps:
+            merged.extend(sweep.points)
+        return cls(name, merged)
+
+    def add(self, label: str, key: RunKey) -> "Sweep":
+        """Append one labelled point (chainable)."""
+        self.points.append(SweepPoint(label, key))
+        return self
+
+    def unique_keys(self) -> List[RunKey]:
+        """The distinct RunKeys, in first-appearance order."""
+        seen: Dict[RunKey, None] = {}
+        for point in self.points:
+            seen.setdefault(point.key, None)
+        return list(seen)
+
+    def labelled(self) -> Dict[RunKey, str]:
+        """Distinct keys mapped to their first label."""
+        labels: Dict[RunKey, str] = {}
+        for point in self.points:
+            labels.setdefault(point.key, point.label)
+        return labels
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[SweepPoint]:
+        return iter(self.points)
+
+    def describe(self) -> str:
+        """Short human-readable size summary of the sweep."""
+        unique = len(self.unique_keys())
+        return f"{self.name}: {len(self.points)} points ({unique} unique)"

@@ -1,0 +1,308 @@
+"""Sweep orchestrator tests: parity, resume, fault tolerance, catalog.
+
+The pool tests run real (tiny) simulations across worker processes, so
+they double as an integration test of pickling the GPU config and
+shipping RunResults back.
+"""
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.config.presets import small_config
+from repro.config.topology import Architecture, ReplicationPolicy
+from repro.core.system import RunResult
+from repro.experiments import figures
+from repro.experiments.runner import ExperimentRunner, RunKey
+from repro.experiments.store import ResultStore
+from repro.orchestrator import (
+    SWEEPABLE,
+    ProgressReporter,
+    Sweep,
+    SweepOrchestrator,
+    figure_sweep,
+)
+from repro.power.energy import EnergyBreakdown
+
+
+def tiny_gpu():
+    return small_config(num_channels=2, warps_per_sm=4)
+
+
+def make_runner(tmp_path=None):
+    store = ResultStore(tmp_path) if tmp_path is not None else None
+    return ExperimentRunner(base_gpu=tiny_gpu(), store=store)
+
+
+TINY_SWEEP_KEYS = [
+    RunKey("KMEANS"),
+    RunKey("KMEANS", Architecture.NUBA,
+           replication=ReplicationPolicy.MDR),
+    RunKey("AN"),
+]
+
+
+def tiny_sweep():
+    return Sweep.of("tiny", TINY_SWEEP_KEYS)
+
+
+def _dummy_result() -> RunResult:
+    return RunResult("dummy", 1, 1, 1, 0.0, 0.0, 0.0, 0, 0, 0,
+                     EnergyBreakdown(0.0, 0.0, 0.0, 0.0, 0.0), {})
+
+
+# Pool task overrides must be module-level so workers can unpickle them.
+
+def _slow_task(key: RunKey) -> RunResult:
+    if key.benchmark == "AN":
+        time.sleep(60)
+    return _dummy_result()
+
+
+def _sluggish_task(key: RunKey) -> RunResult:
+    """Slower than the test timeout, but finishes quickly inline."""
+    time.sleep(1.5)
+    return _dummy_result()
+
+
+def _crashy_task(key: RunKey) -> RunResult:
+    if key.benchmark == "AN":
+        raise ValueError("injected fault")
+    return _dummy_result()
+
+
+class TestSweep:
+    def test_grid_cross_product(self):
+        sweep = Sweep.grid("g", ["KMEANS", "AN"], {
+            "uba": {"architecture": Architecture.MEM_SIDE_UBA},
+            "nuba": {"architecture": Architecture.NUBA},
+        })
+        assert len(sweep) == 4
+        assert sweep.points[0].label == "KMEANS/uba"
+        assert sweep.points[3].key == RunKey("AN", Architecture.NUBA)
+
+    def test_unique_keys_deduplicate(self):
+        sweep = tiny_sweep()
+        sweep.add("again", RunKey("KMEANS"))
+        assert len(sweep) == 4
+        assert len(sweep.unique_keys()) == 3
+
+    def test_merge_and_labels(self):
+        merged = Sweep.merge("m", [tiny_sweep(), tiny_sweep()])
+        assert len(merged) == 6
+        assert len(merged.labelled()) == 3
+
+
+class TestInlineExecution:
+    def test_workers_1_runs_inline(self):
+        runner = make_runner()
+        orchestrator = SweepOrchestrator(runner, workers=1)
+        report = orchestrator.run(tiny_sweep())
+        assert report.mode == "inline"
+        assert report.ok
+        assert report.simulated == 3
+        assert runner.simulations_run == 3
+        assert set(report.results) == set(TINY_SWEEP_KEYS)
+
+    def test_inline_failure_recorded_after_retries(self):
+        runner = make_runner()
+        orchestrator = SweepOrchestrator(runner, workers=1, retries=2,
+                                         backoff=0.0)
+        report = orchestrator.run(
+            Sweep.of("bad", [RunKey("NOPE"), RunKey("KMEANS")])
+        )
+        assert not report.ok
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure.key == RunKey("NOPE")
+        assert failure.attempts == 3  # 1 try + 2 retries
+        assert report.retries == 2
+        assert RunKey("KMEANS") in report.results  # sweep not sunk
+
+    def test_duplicate_keys_executed_once(self):
+        runner = make_runner()
+        orchestrator = SweepOrchestrator(runner, workers=1)
+        report = orchestrator.run(tiny_sweep(), tiny_sweep())
+        assert report.duplicates == 3
+        assert runner.simulations_run == 3
+
+
+class TestPoolExecution:
+    def test_parallel_matches_serial_bitwise(self):
+        serial = make_runner()
+        expected = {key: serial.run(key) for key in TINY_SWEEP_KEYS}
+
+        runner = make_runner()
+        orchestrator = SweepOrchestrator(runner, workers=2)
+        report = orchestrator.run(tiny_sweep())
+        assert report.ok and report.mode == "pool"
+        assert report.simulated == 3
+        for key, result in expected.items():
+            assert dataclasses.asdict(report.results[key]) == \
+                dataclasses.asdict(result)
+
+    def test_results_published_to_runner_cache(self):
+        runner = make_runner()
+        SweepOrchestrator(runner, workers=2).run(tiny_sweep())
+        # The figure path must now hit cache: no new simulations.
+        runner.run(TINY_SWEEP_KEYS[0])
+        assert runner.simulations_run == 0
+
+    def test_worker_exception_retried_then_recorded(self):
+        runner = make_runner()
+        orchestrator = SweepOrchestrator(
+            runner, workers=2, retries=1, backoff=0.0,
+            task_fn=_crashy_task,
+        )
+        report = orchestrator.run(
+            Sweep.of("crash", [RunKey("AN"), RunKey("KMEANS")])
+        )
+        assert len(report.failures) == 1
+        assert report.failures[0].key == RunKey("AN")
+        assert report.failures[0].attempts == 2
+        assert "injected fault" in report.failures[0].error
+        assert RunKey("KMEANS") in report.results
+
+    def test_timeout_restarts_pool_and_records_failure(self):
+        runner = make_runner()
+        orchestrator = SweepOrchestrator(
+            runner, workers=2, timeout=0.5, retries=1, backoff=0.0,
+            task_fn=_slow_task,
+        )
+        report = orchestrator.run(
+            Sweep.of("slow", [RunKey("AN"), RunKey("KMEANS")])
+        )
+        assert len(report.failures) == 1
+        assert "timed out" in report.failures[0].error
+        assert report.pool_restarts >= 1
+        assert RunKey("KMEANS") in report.results
+
+    def test_exhausted_restarts_degrade_to_inline(self):
+        # Every point outlives the timeout and the restart budget is
+        # zero, so the pool is torn down once and the leftovers must
+        # complete inline (where no timeout applies) without tripping
+        # over the already-shut-down executor.
+        runner = make_runner()
+        orchestrator = SweepOrchestrator(
+            runner, workers=2, timeout=0.2, retries=3, backoff=0.0,
+            max_pool_restarts=0, task_fn=_sluggish_task,
+        )
+        report = orchestrator.run(
+            Sweep.of("sluggish", [RunKey("AN"), RunKey("KMEANS")])
+        )
+        assert report.ok
+        assert report.mode == "pool+inline"
+        assert set(report.results) == {RunKey("AN"), RunKey("KMEANS")}
+
+
+class TestResume:
+    def test_preseeded_store_skips_everything(self, tmp_path):
+        first = make_runner(tmp_path)
+        report = SweepOrchestrator(first, workers=1).run(tiny_sweep())
+        assert report.simulated == 3
+
+        resumed = make_runner(tmp_path)
+        orchestrator = SweepOrchestrator(resumed, workers=2)
+        rerun = orchestrator.run(tiny_sweep())
+        assert rerun.cache_hits == 3
+        assert rerun.simulated == 0
+        assert resumed.simulations_run == 0
+        assert set(rerun.results) == set(TINY_SWEEP_KEYS)
+
+    def test_partial_store_runs_only_missing(self, tmp_path):
+        first = make_runner(tmp_path)
+        first.run(TINY_SWEEP_KEYS[0])
+
+        resumed = make_runner(tmp_path)
+        report = SweepOrchestrator(resumed, workers=1).run(tiny_sweep())
+        assert report.cache_hits == 1
+        assert report.simulated == 2
+
+    def test_different_settings_do_not_share_entries(self, tmp_path):
+        # The satellite bug: mdr_epoch/max_cycles change results but
+        # were missing from the fingerprint.
+        first = ExperimentRunner(base_gpu=tiny_gpu(), mdr_epoch=2000,
+                                 store=ResultStore(tmp_path))
+        first.run(TINY_SWEEP_KEYS[1])
+
+        other = ExperimentRunner(base_gpu=tiny_gpu(), mdr_epoch=500,
+                                 store=ResultStore(tmp_path))
+        report = SweepOrchestrator(other, workers=1).run(
+            Sweep.of("s", [TINY_SWEEP_KEYS[1]])
+        )
+        assert report.cache_hits == 0
+        assert other.simulations_run == 1
+
+
+class TestCatalog:
+    def test_every_cli_figure_has_a_sweep(self):
+        from repro.cli import FIGURES
+        from repro.orchestrator import FIGURE_SWEEPS
+        assert set(FIGURE_SWEEPS) == set(FIGURES)
+        assert "fig7" in SWEEPABLE and "table2" not in SWEEPABLE
+
+    @pytest.mark.parametrize("name,figure_fn", [
+        ("fig7", figures.fig7_performance),
+        ("fig8", figures.fig8_bandwidth),
+        ("fig11", figures.fig11_page_allocation),
+        ("fig12", figures.fig12_replication),
+        ("fig13", figures.fig13_energy),
+        ("sec76", figures.sec76_alternatives),
+    ])
+    def test_sweep_covers_figure_exactly(self, name, figure_fn):
+        """After the declarative sweep runs, the figure function must
+        not simulate a single extra point."""
+        benches = ["KMEANS", "AN"]
+        runner = make_runner()
+        report = SweepOrchestrator(runner, workers=1).run(
+            figure_sweep(name, runner, benches)
+        )
+        assert report.ok
+        simulated = runner.simulations_run
+        figure_fn(runner, benches)
+        assert runner.simulations_run == simulated
+
+    def test_fig10_sweep_covers_figure(self):
+        runner = make_runner()
+        report = SweepOrchestrator(runner, workers=1).run(
+            figure_sweep("fig10", runner, ["KMEANS"])
+        )
+        assert report.ok
+        simulated = runner.simulations_run
+        figures.fig10_noc_power(runner, ["KMEANS"])
+        assert runner.simulations_run == simulated
+
+    def test_empty_sweeps_for_system_figures(self):
+        runner = make_runner()
+        assert len(figure_sweep("table2", runner, ["KMEANS"])) == 0
+        assert len(figure_sweep("fig3", runner, ["KMEANS"])) == 0
+
+    def test_unknown_figure_raises(self):
+        runner = make_runner()
+        with pytest.raises(KeyError, match="unknown figure"):
+            figure_sweep("fig99", runner, None)
+
+
+class TestProgressReporter:
+    def test_counts_and_utilization(self):
+        reporter = ProgressReporter(stream=None)
+        reporter.start(total=4, workers=2)
+        reporter.cache_hit("a")
+        reporter.point_done("b", 1.0)
+        reporter.point_done("c", 1.0)
+        reporter.point_failed("d", "boom")
+        assert reporter.done == 4
+        assert reporter.executed == 2
+        assert reporter.cached == 1
+        assert reporter.failed == 1
+        assert reporter.seconds_per_point() == pytest.approx(1.0)
+        assert 0.0 <= reporter.utilization() <= 1.0
+        assert reporter.eta_seconds() == 0.0
+
+    def test_status_line_renders(self):
+        reporter = ProgressReporter(stream=None, label="t")
+        reporter.start(total=2, workers=1)
+        reporter.point_done("a", 0.5)
+        line = reporter.status_line()
+        assert "1/2" in line and "[t]" in line

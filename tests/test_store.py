@@ -35,6 +35,25 @@ class TestFingerprint:
         fp = key_fingerprint(RunKey("2MM", Architecture.NUBA))
         assert "/" not in fp and " " not in fp
 
+    def test_distinguishes_runner_settings(self):
+        # mdr_epoch and max_cycles change results, so they must change
+        # the fingerprint too.
+        key = RunKey("AN")
+        a = key_fingerprint(key, {"mdr_epoch": 2000,
+                                  "max_cycles": 3_000_000})
+        b = key_fingerprint(key, {"mdr_epoch": 500,
+                                  "max_cycles": 3_000_000})
+        c = key_fingerprint(key, {"mdr_epoch": 2000,
+                                  "max_cycles": 1_000_000})
+        d = key_fingerprint(key)
+        assert len({a, b, c, d}) == 4
+
+    def test_settings_order_irrelevant(self):
+        key = RunKey("AN")
+        a = key_fingerprint(key, {"mdr_epoch": 1, "max_cycles": 2})
+        b = key_fingerprint(key, {"max_cycles": 2, "mdr_epoch": 1})
+        assert a == b
+
 
 class TestSerialization:
     def test_round_trip(self, runner):
@@ -99,3 +118,81 @@ class TestStore:
         assert second.simulations_run == 0  # loaded from disk
         assert result.cycles > 0
         assert store.hits >= 1
+
+    def test_save_leaves_no_temp_files(self, runner, tmp_path):
+        store = ResultStore(tmp_path)
+        key = RunKey("KMEANS")
+        store.save(key, runner.run(key))
+        store.save(key, runner.run(key))  # overwrite is atomic too
+        assert len(list(tmp_path.glob("*.tmp"))) == 0
+        assert len(store) == 1
+
+    def test_truncated_entry_is_a_miss_then_healed(self, runner,
+                                                   tmp_path):
+        # A sweep killed mid-write used to leave a truncated JSON that
+        # counted as a permanent miss; now corrupt entries are dropped
+        # and the next save replaces them.
+        store = ResultStore(tmp_path)
+        key = RunKey("KMEANS")
+        result = runner.run(key)
+        store.save(key, result)
+        path = next(tmp_path.glob("*.json"))
+        path.write_text(path.read_text()[:20])  # simulate a cut write
+        assert store.load(key) is None
+        assert not path.exists()  # corrupt entry dropped
+        store.save(key, result)
+        assert store.load(key).cycles == result.cycles
+
+
+class TestRunnerStoreIntegration:
+    def test_constructor_store(self, tmp_path):
+        gpu = small_config(num_channels=2, warps_per_sm=4)
+        key = RunKey("KMEANS")
+        first = ExperimentRunner(base_gpu=gpu,
+                                 store=ResultStore(tmp_path))
+        first.run(key)
+        assert first.simulations_run == 1
+
+        second = ExperimentRunner(base_gpu=gpu,
+                                  store=ResultStore(tmp_path))
+        result = second.run(key)
+        assert second.simulations_run == 0
+        assert result.cycles > 0
+
+    def test_different_settings_not_shared(self, tmp_path):
+        gpu = small_config(num_channels=2, warps_per_sm=4)
+        key = RunKey("KMEANS", Architecture.NUBA,
+                     replication=ReplicationPolicy.MDR)
+        first = ExperimentRunner(base_gpu=gpu, mdr_epoch=2000,
+                                 store=ResultStore(tmp_path))
+        first.run(key)
+
+        other = ExperimentRunner(base_gpu=gpu, mdr_epoch=500,
+                                 store=ResultStore(tmp_path))
+        other.run(key)
+        assert other.simulations_run == 1  # no stale sharing
+
+    def test_run_system_publishes_to_store(self, tmp_path):
+        gpu = small_config(num_channels=2, warps_per_sm=4)
+        key = RunKey("KMEANS")
+        first = ExperimentRunner(base_gpu=gpu,
+                                 store=ResultStore(tmp_path))
+        system, result = first.run_system(key)
+        assert first.simulations_run == 1
+        # The RunResult half went through the cache path: run() hits.
+        assert first.run(key) is not None
+        assert first.simulations_run == 1
+        # ...and so does a fresh runner on the same store.
+        second = ExperimentRunner(base_gpu=gpu,
+                                  store=ResultStore(tmp_path))
+        assert second.run(key).cycles == result.cycles
+        assert second.simulations_run == 0
+
+    def test_run_system_repeated_uses_system_cache(self):
+        gpu = small_config(num_channels=2, warps_per_sm=4)
+        runner = ExperimentRunner(base_gpu=gpu)
+        key = RunKey("KMEANS")
+        system_a, _ = runner.run_system(key)
+        system_b, _ = runner.run_system(key)
+        assert system_a is system_b
+        assert runner.simulations_run == 1
