@@ -1,10 +1,14 @@
 """Scenario: traces and time-series instrumentation.
 
 Records AlexNet's full instruction trace to a file, replays it through a
-NUBA simulation with a :class:`TimelineRecorder` attached, and prints
-the bandwidth trend with the MDR replication windows — showing the epoch
-controller turning replication on as the profiler gathers evidence
-(Section 5.1).
+NUBA simulation with the observability stack attached (a cycle-level
+:class:`~repro.obs.tracer.Tracer`, a
+:class:`~repro.obs.timeline.TimelineCollector` and the classic
+:class:`TimelineRecorder`), and prints the bandwidth trend with the MDR
+replication windows — showing the epoch controller turning replication
+on as the profiler gathers evidence (Section 5.1). The cycle trace is
+exported as Chrome ``trace_event`` JSON, loadable at
+https://ui.perfetto.dev (see docs/TRACING.md).
 
 Run with::
 
@@ -23,7 +27,8 @@ from repro import (
     small_config,
 )
 from repro.analysis.charts import sparkline
-from repro.analysis.timeline import TimelineRecorder
+from repro.analysis.timeline import TimelineRecorder, timeline_chart
+from repro.obs import TimelineCollector, Tracer, write_chrome_trace
 from repro.workloads.trace import TraceWorkload, record_trace
 
 
@@ -47,6 +52,8 @@ def main() -> None:
                         replication=ReplicationPolicy.MDR, mdr_epoch=2000)
     system = build_system(gpu, topo)
     timeline = TimelineRecorder.attach(system, interval=1000)
+    tracer = Tracer.attach(system)
+    collector = TimelineCollector.attach(system, interval=1000)
     result = system.run_workload(replayed)
     print(f"replayed in {result.cycles} cycles "
           f"({result.local_fraction * 100:.0f}% local)")
@@ -62,6 +69,14 @@ def main() -> None:
     print()
     print("Shape to look for: once MDR's first epoch decides to")
     print("replicate, the local fraction and bandwidth both jump.")
+
+    # 4. Export the cycle trace for Perfetto and chart the timeline.
+    chrome_path = trace_path.replace(".trace", ".trace.json")
+    count = write_chrome_trace(chrome_path, tracer, collector)
+    print()
+    print(f"wrote {chrome_path}: {count} Chrome-trace events "
+          f"(drag into https://ui.perfetto.dev)")
+    print(timeline_chart(collector))
     os.unlink(trace_path)
 
 

@@ -2,7 +2,7 @@
 
 from repro.analysis.charts import bar_chart, grouped_bar_chart, sparkline
 from repro.analysis.sharing import SHARING_BUCKETS, sharing_profile
-from repro.analysis.timeline import TimelineRecorder
+from repro.analysis.timeline import TimelineRecorder, timeline_chart
 from repro.analysis.report import (
     format_table,
     geometric_mean,
@@ -21,4 +21,5 @@ __all__ = [
     "improvement_summary",
     "sharing_profile",
     "speedup_table",
+    "timeline_chart",
 ]

@@ -7,6 +7,10 @@ lines transferred and the current MDR decision. This is how the MDR
 epoch dynamics (Section 5.1) and phase behaviour of workloads can be
 inspected, e.g. in notebooks or the CSV export.
 
+For the richer per-partition time series (queue occupancies, link
+utilization, NPB), use :class:`repro.obs.timeline.TimelineCollector`;
+:func:`timeline_chart` renders either one as terminal sparklines.
+
 Usage::
 
     system = build_system(gpu, topo)
@@ -19,7 +23,9 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Sequence
+
+from repro.analysis.charts import sparkline
 
 
 @dataclass(frozen=True)
@@ -137,3 +143,66 @@ class TimelineRecorder:
             row = [str(getattr(sample, field)) for field in self.FIELDS]
             buffer.write(",".join(row) + "\n")
         return buffer.getvalue()
+
+
+#: Columns charted by :func:`timeline_chart` when present, in order.
+CHART_COLUMNS = (
+    ("replies", "replies/interval"),
+    ("local", "local replies"),
+    ("remote", "remote replies"),
+    ("noc_util", "NoC utilization"),
+    ("npb", "page balance"),
+    ("mdr_replicating", "MDR replicate"),
+)
+
+
+def _column_series(timeline, column: str) -> Optional[Sequence[float]]:
+    if hasattr(timeline, "columns"):  # obs TimelineCollector layout
+        if column not in timeline.columns:
+            return None
+        return timeline.series(column)
+    if timeline.samples and hasattr(timeline.samples[0], column):
+        return [
+            float(getattr(sample, column)) for sample in timeline.samples
+        ]
+    return None
+
+
+def timeline_chart(timeline, width: int = 60,
+                   partitions: bool = True) -> str:
+    """Render a timeline as labelled terminal sparklines.
+
+    Accepts either a :class:`TimelineRecorder` or a
+    :class:`repro.obs.timeline.TimelineCollector` (duck-typed on the
+    rectangular ``columns``/``rows`` layout). When the timeline carries
+    per-partition link-utilization columns (``p{i}.link_util``), one
+    sparkline per partition shows where bandwidth concentrates -- the
+    Figure 8 local/remote story over time instead of as one scalar.
+    """
+    rows = []
+    for column, label in CHART_COLUMNS:
+        series = _column_series(timeline, column)
+        if series is None or not any(series):
+            continue
+        peak = max(series)
+        rows.append((label, sparkline(series[-width:]), peak))
+    if partitions and hasattr(timeline, "columns"):
+        for column in timeline.columns:
+            if not column.endswith(".link_util"):
+                continue
+            series = timeline.series(column)
+            if not any(series):
+                continue
+            label = column.replace(".link_util", " link util")
+            rows.append((label, sparkline(series[-width:]), max(series)))
+    if not rows:
+        return "timeline: no samples"
+    label_width = max(len(label) for label, _, _ in rows)
+    interval = getattr(timeline, "interval", None)
+    header = "timeline"
+    if interval:
+        header += f" (interval {interval} cycles)"
+    lines = [header]
+    for label, spark, peak in rows:
+        lines.append(f"  {label.rjust(label_width)} {spark}  peak {peak:.3g}")
+    return "\n".join(lines)

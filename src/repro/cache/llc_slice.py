@@ -203,6 +203,8 @@ class LLCSlice(Component):
             if request.is_replica_access:
                 self.replica_hits += 1
             request.hit_level = "llc"
+            if self.tracer.enabled:
+                self.tracer.emit_llc_access(now, self.name, request, True)
             self._pipeline.push(("reply", request), now)
             return
 
@@ -214,6 +216,8 @@ class LLCSlice(Component):
             self.misses -= 1  # not actually processed this cycle
             self.port_cycles -= 1
             return
+        if self.tracer.enabled:
+            self.tracer.emit_llc_access(now, self.name, request, False)
         if outcome is MSHROutcome.ALLOCATED:
             self._pipeline.push(("miss", request), now)
         # MERGED: nothing to send; the fill will release the waiter.

@@ -4,6 +4,8 @@ Subcommands::
 
     python -m repro list                     # catalogue of benchmarks
     python -m repro run --bench KMEANS --arch nuba [--replication mdr]
+    python -m repro run --arch nuba --trace out.json --timeline tl.csv
+    python -m repro trace --bench AN --out an.json --profile
     python -m repro compare --bench KMEANS   # UBA vs NUBA side by side
     python -m repro figure fig7 [--subset KMEANS AN ...] [--workers 4]
     python -m repro sweep fig7 fig10 --workers 4 --store results/
@@ -15,6 +17,13 @@ headline experiments are reproducible without writing any Python.
 underlying simulation points out across a process pool (see
 docs/ORCHESTRATOR.md) and ``--store`` to persist results on disk so
 interrupted sweeps resume instead of restarting.
+
+Observability (docs/TRACING.md): ``run`` and the dedicated ``trace``
+subcommand accept ``--trace PATH`` (Chrome-trace JSON for Perfetto /
+``chrome://tracing``) and ``--timeline PATH`` (fixed-interval CSV time
+series); ``trace --profile`` adds a wall-clock per-component tick-cost
+report. ``figure --trace/--timeline DIR`` write one artifact pair per
+actually simulated point into ``DIR``.
 """
 
 from __future__ import annotations
@@ -78,7 +87,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the Table 2 benchmark catalogue")
 
     run = sub.add_parser("run", help="simulate one benchmark")
-    run.add_argument("--bench", required=True, help="benchmark abbreviation")
+    run.add_argument("--bench", default="KMEANS",
+                     help="benchmark abbreviation (default KMEANS)")
     run.add_argument("--arch", type=_architecture, default=Architecture.NUBA)
     run.add_argument(
         "--replication",
@@ -92,6 +102,35 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--noc-gbps", type=float, default=None,
                      help="override NoC bandwidth (GB/s)")
+    _add_observability_args(run)
+
+    trace = sub.add_parser(
+        "trace",
+        help="simulate one benchmark with full observability "
+             "(Chrome trace, timeline CSV, tick profile)",
+    )
+    trace.add_argument("--bench", default="KMEANS",
+                       help="benchmark abbreviation (default KMEANS)")
+    trace.add_argument("--arch", type=_architecture,
+                       default=Architecture.NUBA)
+    trace.add_argument(
+        "--replication",
+        choices=[p.value for p in ReplicationPolicy],
+        default=ReplicationPolicy.MDR.value,
+    )
+    trace.add_argument("--channels", type=int, default=None,
+                       help="simulate a smaller GPU (memory channels)")
+    trace.add_argument("--out", default="trace.json", metavar="PATH",
+                       help="Chrome-trace JSON output (default "
+                            "trace.json)")
+    trace.add_argument("--timeline", default=None, metavar="PATH",
+                       help="also write a timeline CSV")
+    trace.add_argument("--interval", type=int, default=500,
+                       help="timeline sampling interval in cycles")
+    trace.add_argument("--max-events", type=int, default=None,
+                       help="tracer event ceiling (default 1e6)")
+    trace.add_argument("--profile", action="store_true",
+                       help="report wall-clock cost per component tick")
 
     compare = sub.add_parser(
         "compare", help="run a benchmark on UBA and NUBA and compare"
@@ -107,6 +146,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="use all 29 benchmarks")
     figure.add_argument("--channels", type=int, default=None,
                         help="simulate a smaller GPU (memory channels)")
+    figure.add_argument("--trace", default=None, metavar="DIR",
+                        help="write a Chrome trace per simulated point "
+                             "into DIR")
+    figure.add_argument("--timeline", default=None, metavar="DIR",
+                        help="write a timeline CSV per simulated point "
+                             "into DIR")
+    figure.add_argument("--interval", type=int, default=500,
+                        help="timeline sampling interval in cycles")
     _add_orchestrator_args(figure)
 
     sweep = sub.add_parser(
@@ -135,6 +182,16 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--channels", type=int, default=None)
     _add_orchestrator_args(report)
     return parser
+
+
+def _add_observability_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome-trace JSON (Perfetto / "
+                             "chrome://tracing)")
+    parser.add_argument("--timeline", default=None, metavar="PATH",
+                        help="write a fixed-interval timeline CSV")
+    parser.add_argument("--interval", type=int, default=500,
+                        help="timeline sampling interval in cycles")
 
 
 def _add_orchestrator_args(parser: argparse.ArgumentParser) -> None:
@@ -172,6 +229,7 @@ def _cmd_run(args) -> int:
         mdr_epoch=2000,
     )
     system = build_system(gpu, topo)
+    tracer, timeline = _attach_observability(system, args)
     workload = get_benchmark(args.bench).instantiate(gpu)
     result = system.run_workload(workload)
     print(format_table(["metric", "value"], [
@@ -186,6 +244,79 @@ def _cmd_run(args) -> int:
         ["NoC bytes", result.noc_bytes],
         ["NoC energy share", f"{result.energy.noc_fraction * 100:.1f}%"],
     ]))
+    _export_observability(tracer, timeline, args)
+    return 0
+
+
+def _attach_observability(system, args):
+    """Attach tracer/timeline per the ``--trace``/``--timeline`` flags."""
+    from repro.obs import TimelineCollector, Tracer
+    tracer = timeline = None
+    if args.trace:
+        max_events = getattr(args, "max_events", None)
+        tracer = (Tracer.attach(system, max_events=max_events)
+                  if max_events else Tracer.attach(system))
+    if args.timeline:
+        timeline = TimelineCollector.attach(system,
+                                            interval=args.interval)
+    return tracer, timeline
+
+
+def _export_observability(tracer, timeline, args) -> None:
+    """Write the artifacts the flags asked for and say where they went."""
+    from repro.obs import write_chrome_trace
+    if tracer is not None:
+        events = write_chrome_trace(args.trace, tracer, timeline)
+        dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+        print(f"\nwrote {args.trace}: {events} trace events{dropped}")
+    if timeline is not None:
+        from repro.analysis.timeline import timeline_chart
+        timeline.write_csv(args.timeline)
+        print(f"wrote {args.timeline}: {len(timeline)} samples x "
+              f"{len(timeline.columns)} columns")
+        print(timeline_chart(timeline))
+
+
+def _cmd_trace(args) -> int:
+    from repro.analysis.timeline import timeline_chart
+    from repro.obs import TickProfiler, TimelineCollector, Tracer
+    gpu = (small_config(num_channels=args.channels)
+           if args.channels else small_config())
+    topo = TopologySpec(
+        architecture=args.arch,
+        replication=ReplicationPolicy(args.replication),
+        mdr_epoch=2000,
+    )
+    system = build_system(gpu, topo)
+    tracer = (Tracer.attach(system, max_events=args.max_events)
+              if args.max_events else Tracer.attach(system))
+    timeline = TimelineCollector.attach(system, interval=args.interval)
+    profiler = TickProfiler.attach(system.sim) if args.profile else None
+    workload = get_benchmark(args.bench).instantiate(gpu)
+    result = system.run_workload(workload)
+
+    from repro.obs import write_chrome_trace
+    events = write_chrome_trace(args.out, tracer, timeline)
+    counts = ", ".join(
+        f"{cat}={count}"
+        for cat, count in sorted(tracer.category_counts().items())
+    )
+    print(f"{args.bench} on {result.architecture}: {result.cycles} "
+          f"cycles, {result.loads_completed} loads")
+    dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+    print(f"wrote {args.out}: {events} trace events{dropped} [{counts}]")
+    if args.timeline:
+        timeline.write_csv(args.timeline)
+        print(f"wrote {args.timeline}: {len(timeline)} samples x "
+              f"{len(timeline.columns)} columns")
+    windows = timeline.replication_windows()
+    if windows:
+        spans = ", ".join(f"{start}-{end}" for start, end in windows)
+        print(f"MDR replication windows: {spans}")
+    print(timeline_chart(timeline))
+    if profiler is not None:
+        profiler.detach()
+        print(profiler.report())
     return 0
 
 
@@ -224,7 +355,8 @@ DEFAULT_SUBSET = ["KMEANS", "DWT2D", "LBM", "AN", "2MM", "BT", "SC"]
 
 
 def _make_runner(channels: Optional[int],
-                 store_dir: Optional[str] = None) -> ExperimentRunner:
+                 store_dir: Optional[str] = None,
+                 observer=None) -> ExperimentRunner:
     store = None
     if store_dir:
         from repro.experiments.store import ResultStore
@@ -232,7 +364,7 @@ def _make_runner(channels: Optional[int],
     gpu = None
     if channels is not None:
         gpu = small_config(num_channels=channels)
-    return ExperimentRunner(base_gpu=gpu, store=store)
+    return ExperimentRunner(base_gpu=gpu, store=store, observer=observer)
 
 
 def _figure_subset(args) -> Optional[List[str]]:
@@ -268,12 +400,21 @@ def _prewarm(runner: ExperimentRunner, names, subset, args) -> int:
 
 
 def _cmd_figure(args) -> int:
-    runner = _make_runner(args.channels, args.store)
+    observer = None
+    if args.trace or args.timeline:
+        from repro.obs import RunObserver
+        observer = RunObserver(trace_dir=args.trace,
+                               timeline_dir=args.timeline,
+                               interval=args.interval)
+    runner = _make_runner(args.channels, args.store, observer)
     subset = _figure_subset(args)
     if args.workers > 1:
         _prewarm(runner, [args.name], subset, args)
     result = FIGURES[args.name](runner, subset)
     print(result.render())
+    if observer is not None:
+        for line in observer.summary():
+            print(f"observed {line}", file=sys.stderr)
     return 0
 
 
@@ -321,6 +462,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "figure":

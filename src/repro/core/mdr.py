@@ -16,11 +16,12 @@ fill. The router consults :attr:`MDRController.replicate` per request.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import ClassVar, List
 
 from repro.cache.sampling import SetSampler
 from repro.config.topology import ReplicationPolicy
 from repro.core.bwmodel import EVALUATION_CYCLES, BandwidthModel
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -47,6 +48,10 @@ REPLICATION_MARGIN = 1.05
 @dataclass
 class MDRController:
     """Decides, once per epoch, whether to replicate read-only data."""
+
+    #: Shared disabled tracer; rebound per instance on traced runs so
+    #: each epoch decision is emitted with its model inputs.
+    tracer: ClassVar[Tracer] = NULL_TRACER
 
     model: BandwidthModel
     sampler: SetSampler
@@ -87,6 +92,8 @@ class MDRController:
                 replicate=self.replicate,
             )
         )
+        if self.tracer.enabled:
+            self.tracer.emit_mdr_epoch(cycle, self.decisions[-1])
 
     def on_kernel_boundary(self) -> None:
         """Kernel boundary: data read-only in the previous kernel may be

@@ -31,6 +31,7 @@ from repro.driver.migration import PageMigrationManager
 from repro.driver.page_replication import PageReplicationDriver
 from repro.mem.controller import MemoryController
 from repro.noc.power import CrossbarPowerModel, NoCEnergyAccount
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.power.energy import EnergyBreakdown, GPUEnergyModel
 from repro.sim.engine import Simulator
 from repro.sim.request import AccessKind, MemoryRequest, RequestTracker
@@ -82,6 +83,10 @@ class GPUSystem:
     """Base class for the three simulated architectures."""
 
     architecture = Architecture.MEM_SIDE_UBA  # overridden by subclasses
+
+    #: Shared disabled tracer; :meth:`repro.obs.tracer.Tracer.bind`
+    #: rebinds a live tracer onto the system and its components.
+    tracer: Tracer = NULL_TRACER
 
     def __init__(self, gpu: GPUConfig, topo: TopologySpec) -> None:
         topo.validate(gpu)
@@ -272,11 +277,17 @@ class GPUSystem:
             kernel.warps_per_cta,
             kernel.warp_factory,
         )
+        start_cycle = self.sim.cycle
         for sm in self.sms:
             sm.start_kernel(
                 scheduler, kernel.read_only_spaces, now=self.sim.cycle
             )
         finished = self.sim.run_until(self._drained, max_cycles=max_cycles)
+        if self.tracer.enabled:
+            self.tracer.emit_kernel(
+                getattr(kernel, "name", "kernel"), start_cycle,
+                self.sim.cycle, self.kernels_executed,
+            )
         self._kernel_boundary()
         self.kernels_executed += 1
         return finished

@@ -12,6 +12,7 @@ from typing import Dict, Optional, Sequence, Set
 
 from repro.config.gpu import GPUConfig
 from repro.driver.allocator import PageAllocator
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.stats import Histogram
 from repro.vm.address_map import AddressMap
 from repro.vm.page_table import PageTable
@@ -20,6 +21,10 @@ from repro.vm.tlb import TranslationProvider
 
 class GpuDriver(TranslationProvider):
     """Allocates memory pages to channels and translates for the MMUs."""
+
+    #: Shared disabled tracer; rebound per instance on traced runs so
+    #: page allocations are emitted with the running NPB.
+    tracer: Tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -69,6 +74,10 @@ class GpuDriver(TranslationProvider):
             )
         self.page_table.install(vpage, frame)
         self.page_home[vpage] = channel
+        if self.tracer.enabled:
+            self.tracer.emit_page_alloc(
+                vpage, channel, sm_id, self.allocator.balance
+            )
         return frame
 
     @property

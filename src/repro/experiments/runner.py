@@ -77,16 +77,24 @@ class ExperimentRunner:
     ``run`` consults the store before simulating and persists every new
     result, keyed by the RunKey *and* this runner's settings
     (:meth:`cache_settings`), so sweeps are resumable across processes.
+
+    ``observer`` is an optional :class:`~repro.obs.observer.RunObserver`
+    (or anything with ``attach(key, system)`` / ``finish(key, system,
+    result)``): every point the runner actually simulates is
+    instrumented through it, which is how ``figure --trace/--timeline``
+    produce per-point artifacts. Cached points never reach the
+    observer.
     """
 
     def __init__(self, base_gpu: Optional[GPUConfig] = None,
                  mdr_epoch: int = SCALED_MDR_EPOCH,
                  max_cycles: int = 3_000_000,
-                 store=None) -> None:
+                 store=None, observer=None) -> None:
         self.base_gpu = base_gpu if base_gpu is not None else small_config()
         self.mdr_epoch = mdr_epoch
         self.max_cycles = max_cycles
         self.store = store
+        self.observer = observer
         self._cache: Dict[RunKey, RunResult] = {}
         self._system_cache: Dict[RunKey, GPUSystem] = {}
         self.simulations_run = 0
@@ -199,9 +207,13 @@ class ExperimentRunner:
 
     def _simulate(self, key: RunKey):
         system = self.build(key)
+        if self.observer is not None:
+            self.observer.attach(key, system)
         workload = get_benchmark(key.benchmark).instantiate(system.gpu)
         result = system.run_workload(workload, max_cycles=self.max_cycles)
         self.simulations_run += 1
+        if self.observer is not None:
+            self.observer.finish(key, system, result)
         return system, result
 
     def run(self, key: RunKey) -> RunResult:

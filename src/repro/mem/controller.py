@@ -142,6 +142,7 @@ class MemoryController(Component):
         del self._queue[picked_index]
         bank = self.banks[bank_id]
         is_write = request.kind is AccessKind.STORE
+        row_hit = bank.is_row_hit(row)
         data_at = bank.access(row, now, self.timings, is_write=is_write)
         # Serialise the line over the channel data bus.
         bus_start = max(data_at, self._bus_free_at)
@@ -149,6 +150,11 @@ class MemoryController(Component):
         done_at = bus_start + self._line_cycles
         self.busy_cycles += self._line_cycles
         self.lines_transferred += 1
+        if self.tracer.enabled:
+            self.tracer.emit_dram_service(
+                now, self.name, request.line_addr, is_write, row_hit,
+                done_at,
+            )
         if is_write:
             self.writes += 1
             completion = None

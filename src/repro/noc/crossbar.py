@@ -152,6 +152,9 @@ class Crossbar(Component):
                 pipe.append((now + self.latency, item))
                 self.bytes_transferred += size
                 self.packets_transferred += 1
+                if self.tracer.enabled:
+                    self.tracer.emit_hop(now, self.name, port, dest,
+                                         size, item)
             self._in_credit[port] = credit
             if queue:
                 still_active.append(port)

@@ -47,11 +47,25 @@ class PartitionLinks(Component):
 
     def send_request(self, request: MemoryRequest) -> bool:
         """Queue a request on the SM-to-LLC direction."""
-        return self.request_link.push(request, request.request_bytes)
+        accepted = self.request_link.push(request, request.request_bytes)
+        if accepted and self.tracer.enabled:
+            self.tracer.emit_hop(
+                self.tracer.clock(), f"{self.name}.req",
+                request.sm_id, request.home_slice,
+                request.request_bytes, request,
+            )
+        return accepted
 
     def send_reply(self, request: MemoryRequest) -> bool:
         """Queue a reply on the LLC-to-SM direction."""
-        return self.reply_link.push(request, request.reply_bytes)
+        accepted = self.reply_link.push(request, request.reply_bytes)
+        if accepted and self.tracer.enabled:
+            self.tracer.emit_hop(
+                self.tracer.clock(), f"{self.name}.rep",
+                request.home_slice, request.sm_id,
+                request.reply_bytes, request,
+            )
+        return accepted
 
     def tick(self, now: int) -> None:
         self.request_link.tick(now)

@@ -1,0 +1,42 @@
+"""Observability: cycle-level tracing, metric timelines and profiling.
+
+The ``repro.obs`` package is the simulator's instrumentation substrate
+(docs/TRACING.md):
+
+* :class:`~repro.obs.tracer.Tracer` -- typed structured events
+  (request hops, LLC hits/misses, DRAM service windows, MDR epoch
+  decisions, page allocations) emitted by the components behind a
+  cheap ``enabled`` guard; :data:`~repro.obs.tracer.NULL_TRACER` is
+  the disabled default every component inherits.
+* :class:`~repro.obs.timeline.TimelineCollector` -- fixed-interval
+  time series of queue occupancies, per-partition local/remote
+  bandwidth, link utilization, NPB and the MDR decision.
+* Exporters (:mod:`repro.obs.export`) -- Chrome ``trace_event`` JSON
+  for Perfetto, CSV timelines and their round-trip loader.
+* :class:`~repro.obs.profiler.TickProfiler` -- wall-clock cost per
+  component tick, for finding host-side hot paths.
+* :class:`~repro.obs.observer.RunObserver` -- per-point artifacts for
+  experiment sweeps (``figure --trace/--timeline``).
+"""
+
+from repro.obs.export import (
+    chrome_trace_dict,
+    load_timeline_csv,
+    write_chrome_trace,
+)
+from repro.obs.observer import RunObserver
+from repro.obs.profiler import TickProfiler
+from repro.obs.timeline import TimelineCollector
+from repro.obs.tracer import NULL_TRACER, TraceEvent, Tracer
+
+__all__ = [
+    "NULL_TRACER",
+    "RunObserver",
+    "TickProfiler",
+    "TimelineCollector",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace_dict",
+    "load_timeline_csv",
+    "write_chrome_trace",
+]

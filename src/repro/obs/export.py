@@ -1,0 +1,150 @@
+"""Trace and timeline exporters.
+
+Three output formats:
+
+* **Chrome trace JSON** (:func:`chrome_trace_dict`,
+  :func:`write_chrome_trace`) -- the ``trace_event`` format loadable in
+  ``chrome://tracing`` and https://ui.perfetto.dev. Span events
+  (``ph: "X"``) carry a cycle duration, instant events (``ph: "i"``)
+  mark points in time, and timeline samples become counter tracks
+  (``ph: "C"``). One simulated cycle maps to one trace microsecond.
+* **CSV timelines** (:meth:`TimelineCollector.to_csv` on the collector;
+  :func:`load_timeline_csv` parses them back for analysis, and is the
+  round-trip guarantee the tests pin down).
+* **Profiler reports** -- see :mod:`repro.obs.profiler` for the
+  wall-clock per-component tick cost table.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.obs.tracer import TraceEvent, Tracer
+
+#: The repro process id used for all emitted Chrome-trace events.
+TRACE_PID = 1
+
+#: Timeline columns promoted to Chrome-trace counter tracks.
+COUNTER_COLUMNS = (
+    "replies", "local", "remote", "noc_util", "npb", "mdr_replicating",
+)
+
+
+def _event_to_chrome(event: TraceEvent, tid: int) -> Dict[str, object]:
+    record: Dict[str, object] = {
+        "name": event.name,
+        "cat": event.cat,
+        "ts": event.cycle,
+        "pid": TRACE_PID,
+        "tid": tid,
+        "args": event.args,
+    }
+    if event.dur > 0:
+        record["ph"] = "X"
+        record["dur"] = event.dur
+    else:
+        record["ph"] = "i"
+        record["s"] = "t"  # instant scoped to its thread/track
+    return record
+
+
+def _thread_metadata(track: str, tid: int) -> Dict[str, object]:
+    return {
+        "name": "thread_name",
+        "ph": "M",
+        "ts": 0,
+        "pid": TRACE_PID,
+        "tid": tid,
+        "args": {"name": track},
+    }
+
+
+def _counter_events(timeline) -> List[Dict[str, object]]:
+    events: List[Dict[str, object]] = []
+    columns = [c for c in COUNTER_COLUMNS if c in timeline.columns]
+    for row in timeline.rows:
+        cycle = int(row[timeline.columns.index("cycle")])
+        for column in columns:
+            value = row[timeline.columns.index(column)]
+            events.append({
+                "name": column,
+                "cat": "timeline",
+                "ph": "C",
+                "ts": cycle,
+                "pid": TRACE_PID,
+                "args": {column: value},
+            })
+    return events
+
+
+def chrome_trace_dict(tracer: Tracer,
+                      timeline=None) -> Dict[str, object]:
+    """Convert a tracer (and optional timeline) to a Chrome-trace dict.
+
+    The result serialises to the JSON object form of the ``trace_event``
+    format: a ``traceEvents`` list plus metadata. Tracks map to trace
+    threads of one ``repro`` process; track names are emitted as
+    ``thread_name`` metadata so Perfetto labels them.
+    """
+    tids: Dict[str, int] = {}
+    events: List[Dict[str, object]] = []
+    for track in tracer.tracks():
+        tids[track] = len(tids) + 1
+        events.append(_thread_metadata(track, tids[track]))
+    for event in tracer.events:
+        events.append(_event_to_chrome(event, tids[event.track]))
+    if timeline is not None:
+        events.extend(_counter_events(timeline))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "tool": "repro.obs",
+            "time_unit": "1 trace us = 1 core cycle",
+            "dropped_events": tracer.dropped,
+        },
+    }
+
+
+def write_chrome_trace(path: str, tracer: Tracer, timeline=None) -> int:
+    """Write a Chrome-trace JSON file; returns the event count."""
+    trace = chrome_trace_dict(tracer, timeline)
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+    return len(trace["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# CSV timelines.
+# ----------------------------------------------------------------------
+
+def _parse_cell(text: str) -> float:
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def load_timeline_csv(
+    text: str,
+) -> Tuple[List[str], List[List[float]]]:
+    """Parse a timeline CSV back into ``(columns, rows)``.
+
+    The exact inverse of :meth:`TimelineCollector.to_csv` -- numeric
+    values round-trip losslessly (integers as ints, floats via repr).
+    """
+    lines = [line for line in text.splitlines() if line]
+    if not lines:
+        raise ValueError("empty timeline CSV")
+    columns = lines[0].split(",")
+    rows = []
+    for line in lines[1:]:
+        cells = line.split(",")
+        if len(cells) != len(columns):
+            raise ValueError(
+                f"ragged timeline CSV row: {len(cells)} cells, "
+                f"{len(columns)} columns"
+            )
+        rows.append([_parse_cell(cell) for cell in cells])
+    return columns, rows

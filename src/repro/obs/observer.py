@@ -1,0 +1,92 @@
+"""Per-point observability for experiment sweeps.
+
+:class:`RunObserver` plugs into
+:class:`~repro.experiments.runner.ExperimentRunner` (its ``observer``
+argument) and instruments every point the runner actually *simulates*:
+a tracer and/or timeline collector is attached before the workload runs
+and the artifacts are written when it finishes, named after the point's
+store fingerprint so figure sweeps leave one ``.trace.json`` /
+``.timeline.csv`` pair per simulated point. Cached points (in-memory or
+store hits) are not re-simulated and therefore produce no artifacts.
+
+This is what ``python -m repro figure fig11 --timeline DIR`` uses.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.export import write_chrome_trace
+from repro.obs.timeline import TimelineCollector
+from repro.obs.tracer import Tracer
+
+
+class RunObserver:
+    """Writes trace/timeline artifacts for each simulated point.
+
+    ``trace_dir`` / ``timeline_dir`` may point at the same directory;
+    either may be ``None`` to disable that artifact. ``max_events``
+    bounds each point's tracer (sweeps multiply memory otherwise).
+    """
+
+    def __init__(
+        self,
+        trace_dir: Optional[str] = None,
+        timeline_dir: Optional[str] = None,
+        interval: int = 500,
+        max_events: int = 200_000,
+    ) -> None:
+        self.trace_dir = trace_dir
+        self.timeline_dir = timeline_dir
+        self.interval = interval
+        self.max_events = max_events
+        #: (trace_path, timeline_path) per observed point label.
+        self.artifacts: Dict[str, Tuple[Optional[str], Optional[str]]] = {}
+        self._live: Dict[int, tuple] = {}
+
+    def attach(self, key, system) -> None:
+        """Instrument one system about to simulate ``key``."""
+        tracer = None
+        timeline = None
+        if self.trace_dir is not None:
+            tracer = Tracer.attach(system, max_events=self.max_events)
+        if self.timeline_dir is not None:
+            timeline = TimelineCollector.attach(
+                system, interval=self.interval
+            )
+        self._live[id(system)] = (key, tracer, timeline)
+
+    def finish(self, key, system, result) -> None:
+        """Export the artifacts for one finished simulation."""
+        entry = self._live.pop(id(system), None)
+        if entry is None:
+            return
+        _, tracer, timeline = entry
+        label = self._label(key)
+        trace_path = timeline_path = None
+        if tracer is not None:
+            os.makedirs(self.trace_dir, exist_ok=True)
+            trace_path = os.path.join(
+                self.trace_dir, f"{label}.trace.json"
+            )
+            write_chrome_trace(trace_path, tracer, timeline)
+        if timeline is not None:
+            os.makedirs(self.timeline_dir, exist_ok=True)
+            timeline_path = os.path.join(
+                self.timeline_dir, f"{label}.timeline.csv"
+            )
+            timeline.write_csv(timeline_path)
+        self.artifacts[label] = (trace_path, timeline_path)
+
+    def _label(self, key) -> str:
+        from repro.experiments.store import key_fingerprint
+        return key_fingerprint(key)
+
+    def summary(self) -> List[str]:
+        """One line per observed point (CLI reporting)."""
+        lines = []
+        for label, (trace_path, timeline_path) in self.artifacts.items():
+            parts = [p for p in (trace_path, timeline_path) if p]
+            lines.append(f"{label}: {', '.join(parts)}")
+        return lines

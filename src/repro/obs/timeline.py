@@ -1,0 +1,236 @@
+"""Fixed-interval metric timelines.
+
+A :class:`TimelineCollector` registers on the simulator clock
+(:meth:`repro.sim.engine.Simulator.every`) and, every ``interval``
+cycles, samples the whole system into one row of a rectangular time
+series: aggregate reply bandwidth and local/remote mix, LLC hit rate,
+DRAM lines, NoC bytes and utilization, the Normalized Page Balance
+(Equation 1), the MDR decision, and -- per NUBA partition -- the
+local/remote LLC access mix, point-to-point link traffic/utilization,
+queue occupancies and DRAM lines. Counter-style columns are deltas over
+the interval; gauge columns (queue occupancies, NPB, the MDR bit) are
+sampled at the boundary.
+
+The rectangular layout (``columns`` + ``rows``) round-trips through CSV
+(:meth:`to_csv` / :func:`repro.obs.export.load_timeline_csv`), renders
+as terminal charts (:func:`repro.analysis.timeline.timeline_chart`) and
+converts to Chrome-trace counter events for Perfetto overlays.
+
+Usage::
+
+    system = build_system(gpu, topo)
+    timeline = TimelineCollector.attach(system, interval=500)
+    system.run_workload(workload)
+    open("timeline.csv", "w").write(timeline.to_csv())
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Sequence
+
+#: Columns sampled for every system, in CSV order. Per-partition
+#: columns (``p{i}.*``, see :data:`PARTITION_FIELDS`) follow these.
+GLOBAL_FIELDS = (
+    "cycle",
+    "replies",          # loads completed this interval
+    "local",            # ... of which served locally
+    "remote",
+    "llc_hits",
+    "llc_accesses",
+    "dram_lines",
+    "noc_bytes",
+    "noc_util",         # fraction of inter-partition NoC capacity used
+    "npb",              # Normalized Page Balance (Equation 1), gauge
+    "pages",            # pages allocated this interval
+    "mdr_replicating",  # current MDR decision, gauge (0/1)
+    "mdr_epochs",       # epoch evaluations so far, gauge
+)
+
+#: Per-partition column suffixes (prefixed ``p{i}.``).
+PARTITION_FIELDS = (
+    "local",        # local LLC-slice accesses this interval
+    "remote",       # remote (NoC-borne) LLC-slice accesses
+    "link_bytes",   # partition point-to-point link traffic (NUBA)
+    "link_util",    # fraction of the links' capacity used (NUBA)
+    "queue",        # LMR+RMR occupancy at the sample boundary, gauge
+    "dram_lines",   # lines transferred by the partition's channel
+)
+
+
+class TimelineCollector:
+    """Samples a built system into fixed-interval time series rows."""
+
+    def __init__(self, system, interval: int = 1000) -> None:
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.system = system
+        self.interval = interval
+        self.partitions = system.gpu.num_partitions
+        self.columns: List[str] = list(GLOBAL_FIELDS) + [
+            f"p{p}.{field}"
+            for p in range(self.partitions)
+            for field in PARTITION_FIELDS
+        ]
+        self.rows: List[List[float]] = []
+        self._slices_by_partition = self._group_slices()
+        self._last = self._counters()
+
+    @classmethod
+    def attach(cls, system,
+               interval: int = 1000) -> "TimelineCollector":
+        """Create a collector and register it on the system's clock."""
+        collector = cls(system, interval)
+        system.sim.every(interval, collector.on_sample)
+        return collector
+
+    # ------------------------------------------------------------------
+    # Sampling.
+    # ------------------------------------------------------------------
+
+    def _group_slices(self) -> List[list]:
+        groups: List[list] = [[] for _ in range(self.partitions)]
+        for llc_slice in self.system.slices:
+            partition = self.system.partition_of_slice(llc_slice.slice_id)
+            groups[partition % self.partitions].append(llc_slice)
+        return groups
+
+    def _counters(self) -> Dict[str, float]:
+        """Snapshot of every monotonically increasing counter we delta."""
+        system = self.system
+        tracker = system.tracker
+        snapshot: Dict[str, float] = {
+            "replies": tracker.completed_loads,
+            "local": tracker.local,
+            "remote": tracker.remote,
+            "llc_hits": sum(s.hits for s in system.slices),
+            "llc_accesses": sum(s.accesses for s in system.slices),
+            "dram_lines": sum(mc.lines_transferred for mc in system.mcs),
+            "noc_bytes": system._noc_bytes(),
+            "pages": system.driver.pages_allocated,
+        }
+        for p, slices in enumerate(self._slices_by_partition):
+            snapshot[f"p{p}.local"] = sum(s.local_accesses for s in slices)
+            snapshot[f"p{p}.remote"] = sum(s.remote_accesses for s in slices)
+            snapshot[f"p{p}.link_bytes"] = self._link_bytes(p)
+            snapshot[f"p{p}.dram_lines"] = sum(
+                mc.lines_transferred
+                for mc in system.mcs
+                if mc.channel_id % self.partitions == p
+            )
+        return snapshot
+
+    def _link_bytes(self, partition: int) -> int:
+        links = getattr(self.system, "partition_links", None)
+        if not links or partition >= len(links):
+            return 0  # UBA architectures have no partition links
+        return links[partition].bytes_transferred
+
+    def _link_capacity(self, partition: int) -> float:
+        """Request+reply link bytes the partition can move per cycle."""
+        links = getattr(self.system, "partition_links", None)
+        if not links or partition >= len(links):
+            return 0.0
+        link = links[partition]
+        return (
+            link.request_link.width_bytes + link.reply_link.width_bytes
+        )
+
+    def _noc_capacity(self) -> float:
+        noc = getattr(self.system, "noc", None)
+        if noc is None:
+            return 0.0  # SM-side UBA exposes side crossbars instead
+        return noc.ports * noc.port_width
+
+    def _queue_occupancy(self, partition: int) -> int:
+        return sum(
+            len(s.lmr) + len(s.rmr)
+            for s in self._slices_by_partition[partition]
+        )
+
+    def on_sample(self, cycle: int) -> None:
+        """Record one interval row (clock hook)."""
+        current = self._counters()
+        delta = {
+            key: current[key] - self._last[key] for key in current
+        }
+        self._last = current
+        system = self.system
+        noc_capacity = self._noc_capacity() * self.interval
+        row: List[float] = [
+            cycle,
+            delta["replies"],
+            delta["local"],
+            delta["remote"],
+            delta["llc_hits"],
+            delta["llc_accesses"],
+            delta["dram_lines"],
+            delta["noc_bytes"],
+            (delta["noc_bytes"] / noc_capacity) if noc_capacity else 0.0,
+            system.driver.allocator.balance,
+            delta["pages"],
+            int(system.mdr.replicate),
+            len(system.mdr.decisions),
+        ]
+        for p in range(self.partitions):
+            link_capacity = self._link_capacity(p) * self.interval
+            link_bytes = delta[f"p{p}.link_bytes"]
+            row.extend([
+                delta[f"p{p}.local"],
+                delta[f"p{p}.remote"],
+                link_bytes,
+                (link_bytes / link_capacity) if link_capacity else 0.0,
+                self._queue_occupancy(p),
+                delta[f"p{p}.dram_lines"],
+            ])
+        self.rows.append(row)
+
+    # ------------------------------------------------------------------
+    # Queries and export.
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def series(self, column: str) -> List[float]:
+        """One column as a list (e.g. ``series("p0.link_util")``)."""
+        index = self.columns.index(column)
+        return [row[index] for row in self.rows]
+
+    def replication_windows(self) -> List[tuple]:
+        """Contiguous (start, end) cycle spans with MDR replication on."""
+        windows = []
+        start: Optional[int] = None
+        for cycle, on in zip(self.series("cycle"),
+                             self.series("mdr_replicating")):
+            if on and start is None:
+                start = int(cycle) - self.interval
+            elif not on and start is not None:
+                windows.append((start, int(cycle) - self.interval))
+                start = None
+        if start is not None:
+            windows.append((start, int(self.rows[-1][0])))
+        return windows
+
+    def to_csv(self) -> str:
+        """Render the timeline as CSV text (header + one row/sample)."""
+        buffer = io.StringIO()
+        buffer.write(",".join(self.columns) + "\n")
+        for row in self.rows:
+            buffer.write(",".join(_format_value(v) for v in row) + "\n")
+        return buffer.getvalue()
+
+    def write_csv(self, path: str) -> None:
+        """Write :meth:`to_csv` output to a file."""
+        with open(path, "w") as handle:
+            handle.write(self.to_csv())
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)

@@ -1,0 +1,248 @@
+"""Cycle-level structured tracing.
+
+A :class:`Tracer` collects typed :class:`TraceEvent` records from the
+instrumented components (request hops on the NoC and partition links,
+LLC hits and misses, DRAM service windows, MDR epoch decisions with the
+Section 5.1 model inputs, page allocations with the running NPB). Every
+emission site in the simulator is guarded by the cheap ``enabled``
+attribute check, so a simulation built with the hooks but with tracing
+disabled does the same work as one without them (see docs/TRACING.md
+for the measured overhead guarantee).
+
+The tracer is deliberately dependency-free: it knows nothing about the
+system model, and components know nothing about exporters. Components
+inherit a shared :data:`NULL_TRACER` (disabled, drops everything), and
+:meth:`Tracer.attach` rebinds one live tracer onto a built system.
+
+Usage::
+
+    system = build_system(gpu, topo)
+    tracer = Tracer.attach(system)
+    system.run_workload(workload)
+    write_chrome_trace("out.json", tracer)     # repro.obs.export
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+#: Default event-count ceiling: bounds tracer memory on long runs.
+#: Events past the ceiling are counted in :attr:`Tracer.dropped`.
+DEFAULT_MAX_EVENTS = 1_000_000
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace record.
+
+    ``track`` names the emitting component (it becomes the Chrome-trace
+    thread); ``dur`` is a cycle count for span events (0 = instant).
+    ``args`` carries the event-type-specific payload.
+    """
+
+    cycle: int
+    name: str
+    cat: str
+    track: str
+    dur: int = 0
+    args: Dict[str, object] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects structured events behind a cheap ``enabled`` guard.
+
+    Hot paths check ``tracer.enabled`` before building event payloads,
+    so the disabled tracer costs one attribute load and branch per
+    potential event. The typed ``emit_*`` helpers centralise the event
+    schema (documented in docs/TRACING.md) so exporters and tests can
+    rely on stable names and argument keys.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        clock: Optional[Callable[[], int]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.max_events = max_events
+        #: Cycle source for emission sites without ``now`` at hand
+        #: (e.g. the driver's page-fault handler); wired by ``attach``.
+        self.clock: Callable[[], int] = clock if clock is not None else (
+            lambda: 0
+        )
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Attachment.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def attach(cls, system, enabled: bool = True,
+               max_events: int = DEFAULT_MAX_EVENTS) -> "Tracer":
+        """Create a tracer and bind it to every instrumented part of a
+        built system (components, driver, MDR controller, the system
+        itself for kernel spans)."""
+        tracer = cls(enabled=enabled, max_events=max_events)
+        tracer.bind(system)
+        return tracer
+
+    def bind(self, system) -> None:
+        """Rebind this tracer onto a built system's emission sites."""
+        self.clock = lambda: system.sim.cycle
+        system.sim.tracer = self
+        system.tracer = self
+        for component in system.sim.components:
+            component.tracer = self
+        system.driver.tracer = self
+        system.mdr.tracer = self
+
+    # ------------------------------------------------------------------
+    # Core emission.
+    # ------------------------------------------------------------------
+
+    def emit(self, name: str, cat: str, track: str,
+             cycle: Optional[int] = None, dur: int = 0,
+             args: Optional[Dict[str, object]] = None) -> None:
+        """Record one event (no-op when disabled or over the ceiling)."""
+        if not self.enabled:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(
+            cycle=self.clock() if cycle is None else cycle,
+            name=name,
+            cat=cat,
+            track=track,
+            dur=dur,
+            args=args if args is not None else {},
+        ))
+
+    # ------------------------------------------------------------------
+    # Typed emitters (the event schema; see docs/TRACING.md).
+    # ------------------------------------------------------------------
+
+    def emit_hop(self, cycle: int, network: str, src: int, dst: int,
+                 size_bytes: int, request=None) -> None:
+        """A packet crossing an interconnect (crossbar port or link)."""
+        args: Dict[str, object] = {
+            "src": src, "dst": dst, "bytes": size_bytes,
+        }
+        if request is not None and hasattr(request, "req_id"):
+            args["req"] = request.req_id
+            args["kind"] = request.kind.value
+            args["reply"] = request.is_reply
+        self.emit("hop", "noc", network, cycle=cycle, args=args)
+
+    def emit_llc_access(self, cycle: int, slice_name: str, request,
+                        hit: bool) -> None:
+        """An LLC tag/data array lookup resolving to a hit or miss."""
+        self.emit(
+            "llc.hit" if hit else "llc.miss", "llc", slice_name,
+            cycle=cycle,
+            args={
+                "req": request.req_id,
+                "kind": request.kind.value,
+                "line": request.line_addr,
+                "sm": request.sm_id,
+                "local": request.is_local,
+                "replica": request.is_replica_access,
+            },
+        )
+
+    def emit_dram_service(self, cycle: int, mc_name: str, line_addr: int,
+                          is_write: bool, row_hit: bool,
+                          done_at: int) -> None:
+        """A DRAM access from issue to the end of its bus transfer."""
+        self.emit(
+            "dram.write" if is_write else "dram.read", "dram", mc_name,
+            cycle=cycle, dur=max(0, done_at - cycle),
+            args={"line": line_addr, "row_hit": row_hit},
+        )
+
+    def emit_mdr_epoch(self, cycle: int, decision) -> None:
+        """An MDR epoch-boundary evaluation (Section 5.1 model inputs)."""
+        self.emit(
+            "mdr.epoch", "mdr", "mdr", cycle=cycle,
+            args={
+                "hit_rate_norep": decision.hit_rate_norep,
+                "hit_rate_fullrep": decision.hit_rate_fullrep,
+                "frac_local": decision.frac_local,
+                "bw_norep": decision.bw_norep,
+                "bw_fullrep": decision.bw_fullrep,
+                "replicate": decision.replicate,
+            },
+        )
+
+    def emit_page_alloc(self, vpage: int, channel: int, sm_id: int,
+                        npb: float) -> None:
+        """A first-touch page allocation with the NPB after placement."""
+        self.emit(
+            "page.alloc", "driver", "driver",
+            args={
+                "vpage": vpage, "channel": channel, "sm": sm_id,
+                "npb": npb,
+            },
+        )
+
+    def emit_kernel(self, name: str, start: int, end: int,
+                    index: int) -> None:
+        """A kernel execution span (start to drain)."""
+        self.emit(
+            f"kernel:{name}", "kernel", "kernels", cycle=start,
+            dur=max(0, end - start), args={"index": index},
+        )
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_category(self, cat: str) -> List[TraceEvent]:
+        """All events of one category, in emission order."""
+        return [event for event in self.events if event.cat == cat]
+
+    def category_counts(self) -> Dict[str, int]:
+        """Event counts per category (trace summary lines)."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.cat] = counts.get(event.cat, 0) + 1
+        return counts
+
+    def tracks(self) -> List[str]:
+        """The distinct tracks seen, in first-emission order."""
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            if event.track not in seen:
+                seen[event.track] = None
+        return list(seen)
+
+
+class _NullTracer(Tracer):
+    """The shared disabled tracer components inherit by default.
+
+    Guards against accidental enabling: flipping ``enabled`` on the
+    shared singleton would silently trace every system in the process.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False, max_events=0)
+
+    def __setattr__(self, name: str, value) -> None:
+        if name == "enabled" and value:
+            raise ValueError(
+                "NULL_TRACER cannot be enabled; attach a real Tracer "
+                "(Tracer.attach(system)) instead"
+            )
+        super().__setattr__(name, value)
+
+
+#: Shared disabled tracer; the default ``tracer`` attribute of every
+#: instrumented class. Emission guards (``if self.tracer.enabled:``)
+#: read this and fall through.
+NULL_TRACER = _NullTracer()

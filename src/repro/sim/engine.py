@@ -3,19 +3,37 @@
 The engine advances a set of :class:`Component` objects one cycle at a
 time. Components are ticked in registration order, which the system
 builders arrange to follow the request flow (SMs -> links/NoC -> LLC
-slices -> memory controllers -> reply paths) so that a request can make at
-most one hop per cycle, as in a real pipelined design.
+slices -> memory controllers -> reply paths) so that a request can make
+at most one hop per cycle, as in a real pipelined design. After every
+component has ticked, the cycle counter advances and any due clock
+hooks (:meth:`Simulator.every`) fire -- hook callbacks therefore see a
+consistent end-of-cycle state.
+
+Hooks are scheduled by per-hook next-fire cycles relative to their
+registration point, not by ``cycle % period``: a hook registered on a
+simulator that has already run keeps its own period from the moment of
+registration instead of snapping to absolute multiples of the period.
+
+Every component carries a ``tracer`` attribute (the shared disabled
+:data:`~repro.obs.tracer.NULL_TRACER` by default) so instrumentation
+sites can guard event emission with one attribute check; see
+docs/TRACING.md.
 """
 
 from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.stats import StatsRegistry
 
 
 class Component:
     """Base class for everything that does per-cycle work."""
+
+    #: Shared disabled tracer; replaced per instance when a run is
+    #: traced (:meth:`repro.obs.tracer.Tracer.bind`).
+    tracer: Tracer = NULL_TRACER
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -35,7 +53,10 @@ class Simulator:
         self.cycle = 0
         self.components: List[Component] = []
         self.stats = stats if stats is not None else StatsRegistry()
-        self._epoch_hooks: List[tuple] = []  # (period, callback)
+        self.tracer: Tracer = NULL_TRACER
+        # Mutable [next_fire, period, callback] triples; next_fire is
+        # per-hook so late-registered hooks keep their own cadence.
+        self._hooks: List[list] = []
 
     def add(self, component: Component) -> Component:
         """Register a component; returns it for chaining."""
@@ -45,11 +66,16 @@ class Simulator:
     def every(self, period: int, callback: Callable[[int], None]) -> None:
         """Invoke ``callback(cycle)`` every ``period`` cycles.
 
-        Used for MDR epoch boundaries (Section 5.1).
+        Used for MDR epoch boundaries (Section 5.1), page-migration
+        intervals and timeline sampling. The first firing happens
+        ``period`` cycles after registration: a hook registered on a
+        simulator resumed mid-epoch (current cycle not a multiple of
+        ``period``) gets full-length epochs instead of a short first
+        epoch snapped to absolute cycle multiples.
         """
         if period <= 0:
             raise ValueError("period must be positive")
-        self._epoch_hooks.append((period, callback))
+        self._hooks.append([self.cycle + period, period, callback])
 
     def step(self) -> None:
         """Advance the simulation by one cycle."""
@@ -57,9 +83,10 @@ class Simulator:
         for component in self.components:
             component.tick(now)
         self.cycle += 1
-        for period, callback in self._epoch_hooks:
-            if self.cycle % period == 0:
-                callback(self.cycle)
+        for hook in self._hooks:
+            if self.cycle >= hook[0]:
+                hook[0] += hook[1]
+                hook[2](self.cycle)
 
     def run(self, cycles: int) -> None:
         """Run a fixed number of cycles."""

@@ -181,7 +181,17 @@ class SMCore(Component):
         while self._out:
             if not self.request_sink(self._out.peek()):
                 break
-            self._out.pop()
+            request = self._out.pop()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "sm.miss", "sm", self.name,
+                    args={
+                        "req": request.req_id,
+                        "kind": request.kind.value,
+                        "line": request.line_addr,
+                        "slice": request.home_slice,
+                    },
+                )
 
     def _access_l1(self, now: int) -> None:
         """Up to two L1 port accesses per cycle for translated requests."""

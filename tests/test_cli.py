@@ -21,9 +21,21 @@ class TestParsing:
         with pytest.raises(SystemExit):
             main([])
 
-    def test_run_requires_bench(self):
-        with pytest.raises(SystemExit):
-            main(["run"])
+    def test_run_bench_is_optional(self):
+        """`repro run --arch nuba --trace out.json` must work without
+        --bench (defaults to KMEANS)."""
+        import argparse
+        from repro.cli import _build_parser
+        args = _build_parser().parse_args(["run"])
+        assert isinstance(args, argparse.Namespace)
+        assert args.bench == "KMEANS"
+
+    def test_trace_defaults(self):
+        from repro.cli import _build_parser
+        args = _build_parser().parse_args(["trace"])
+        assert args.bench == "KMEANS"
+        assert args.out == "trace.json"
+        assert args.interval == 500
 
     def test_figure_validates_name(self):
         with pytest.raises(SystemExit):
@@ -56,6 +68,38 @@ class TestCommands:
         ])
         assert code == 0
         assert "mem-side-uba" in capsys.readouterr().out
+
+    def test_run_with_trace_artifacts(self, tmp_path, capsys):
+        """The acceptance path: run --trace emits Perfetto-loadable
+        JSON and --timeline emits the CSV time series."""
+        import json
+        trace = tmp_path / "out.json"
+        timeline = tmp_path / "timeline.csv"
+        code = main([
+            "run", "--bench", "AN", "--arch", "nuba",
+            "--trace", str(trace), "--timeline", str(timeline),
+        ])
+        assert code == 0
+        loaded = json.loads(trace.read_text())
+        assert loaded["traceEvents"]
+        assert all({"ph", "ts", "pid", "name"} <= set(e)
+                   for e in loaded["traceEvents"])
+        header = timeline.read_text().splitlines()[0]
+        assert "npb" in header and "mdr_replicating" in header
+        out = capsys.readouterr().out
+        assert "trace events" in out
+
+    def test_trace_subcommand(self, tmp_path, capsys):
+        out_path = tmp_path / "t.json"
+        code = main([
+            "trace", "--bench", "AN", "--channels", "4",
+            "--out", str(out_path), "--profile",
+        ])
+        assert code == 0
+        assert out_path.stat().st_size > 0
+        out = capsys.readouterr().out
+        assert "trace events" in out
+        assert "tick profile" in out
 
     def test_compare(self, capsys):
         assert main(["compare", "--bench", "KMEANS"]) == 0

@@ -30,6 +30,14 @@ def _public_modules():
 MODULES = _public_modules()
 
 
+def test_observability_package_is_covered():
+    """The obs package must be walked by this gate (guards against the
+    package being skipped by a future private-module rename)."""
+    assert {"repro.obs", "repro.obs.tracer", "repro.obs.timeline",
+            "repro.obs.export", "repro.obs.profiler",
+            "repro.obs.observer"} <= set(MODULES)
+
+
 @pytest.mark.parametrize("module_name", MODULES)
 def test_module_has_docstring(module_name):
     module = importlib.import_module(module_name)

@@ -45,6 +45,28 @@ class TestSimulator:
         sim.run(25)
         assert fired == [10, 20]
 
+    def test_epoch_hooks_registered_mid_run_keep_their_period(self):
+        """Regression: hooks used to fire on ``cycle % period == 0``,
+        so one registered mid-epoch fired early (a partial first
+        interval). Each hook now schedules from its registration
+        cycle."""
+        sim = Simulator()
+        sim.run(37)
+        fired = []
+        sim.every(10, fired.append)
+        sim.run(30)
+        assert fired == [47, 57, 67]
+
+    def test_independent_hooks_keep_independent_phase(self):
+        sim = Simulator()
+        early, late = [], []
+        sim.every(10, early.append)
+        sim.run(5)
+        sim.every(10, late.append)
+        sim.run(20)
+        assert early == [10, 20]
+        assert late == [15, 25]
+
     def test_epoch_hook_period_validated(self):
         with pytest.raises(ValueError):
             Simulator().every(0, lambda cycle: None)
