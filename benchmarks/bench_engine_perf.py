@@ -1,0 +1,48 @@
+"""Engine throughput: simulated cycles per host second.
+
+Measures the quiescence-aware engine (docs/PERFORMANCE.md) on the same
+fixed matrix ``repro bench-perf`` uses: UBA points show the idle-skip
+win, NUBA points bound the activity-contract overhead on a saturated
+machine. The recorded numbers live in
+``benchmarks/BENCH_engine_baseline.json``; CI's perf-smoke job fails on
+a >30% cycles/sec regression against it.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import benchperf
+
+
+@pytest.mark.parametrize(
+    "key", benchperf.MATRIX,
+    ids=[benchperf.point_id(key) for key in benchperf.MATRIX],
+)
+def test_engine_throughput(benchmark, key):
+    point = run_once(
+        benchmark, lambda: benchperf.measure_point(key, repeats=1),
+    )
+    print(f"\n{benchperf.point_id(key)}: {point['cycles']} cycles in "
+          f"{point['wall_seconds']:.2f}s = "
+          f"{point['cycles_per_second']:.0f} cycles/s")
+    assert point["cycles"] > 0
+
+
+def test_quiescence_not_slower_than_strict(benchmark):
+    """The skip machinery must pay for itself: on the drain-heavy UBA
+    point the default engine should at least match strict mode (it is
+    ~1.2-1.4x faster on this point; the bound is loose to tolerate
+    noisy hosts)."""
+    key = benchperf.MATRIX[0]
+
+    def measure():
+        strict = benchperf.measure_point(key, repeats=1, strict=True)
+        quiescent = benchperf.measure_point(key, repeats=1, strict=False)
+        return strict, quiescent
+
+    strict, quiescent = run_once(benchmark, measure)
+    assert quiescent["cycles"] == strict["cycles"]
+    ratio = (quiescent["cycles_per_second"]
+             / strict["cycles_per_second"])
+    print(f"\nquiescent/strict cycles-per-second ratio: {ratio:.2f}x")
+    assert ratio > 0.9

@@ -90,23 +90,28 @@ class LLCSlice(Component):
 
     def accept_local(self, request: MemoryRequest) -> bool:
         """Enqueue a request arriving over the partition link (LMR)."""
+        self.wake()
         return self.lmr.push(request)
 
     def accept_remote(self, request: MemoryRequest) -> bool:
         """Enqueue a request arriving over the NoC (RMR)."""
+        self.wake()
         return self.rmr.push(request)
 
     def fill(self, request: MemoryRequest) -> bool:
         """Data returned from memory (or a remote home slice for replica
         misses); releases MSHR waiters when processed."""
+        self.wake()
         return self.fill_queue.push((self._FILL, request))
 
     def fill_replica(self, line_addr: int) -> bool:
         """Install a read-only replica without waiters (MDR, Section 5.2)."""
+        self.wake()
         return self.fill_queue.push((self._REPLICA, line_addr))
 
     def invalidate(self, line_addr: int) -> bool:
         """Coherence invalidation (SM-side UBA cross-partition stores)."""
+        self.wake()
         return self.fill_queue.push((self._INVAL, line_addr))
 
     def flush(self) -> list:
@@ -124,9 +129,33 @@ class LLCSlice(Component):
     # ------------------------------------------------------------------
 
     def tick(self, now: int) -> None:
-        self._drain_retries()
-        self._deliver_pipeline(now)
-        self._arbitrate(now)
+        if self._retry_replies or self._retry_misses:
+            self._drain_retries()
+        if self._pipeline._items:
+            self._deliver_pipeline(now)
+        if self.fill_queue._items or self.lmr._items or self.rmr._items:
+            self._arbitrate(now)
+
+    # -- activity contract ---------------------------------------------
+
+    def idle(self, now: int) -> bool:
+        """No queued work anywhere in the slice.
+
+        Outstanding MSHR entries alone do not keep the slice awake: a
+        slice whose only state is misses-in-flight does nothing until
+        the fill arrives (:meth:`fill` wakes it). Everything else --
+        queued requests, pending fill ops, pipelined array results and
+        blocked retries -- is time- or backpressure-driven and needs
+        ticks.
+        """
+        return not (
+            self.lmr._items
+            or self.rmr._items
+            or self.fill_queue._items
+            or self._pipeline._items
+            or self._retry_replies
+            or self._retry_misses
+        )
 
     def _drain_retries(self) -> None:
         while self._retry_replies:

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro compare --bench KMEANS   # UBA vs NUBA side by side
     python -m repro figure fig7 [--subset KMEANS AN ...] [--workers 4]
     python -m repro sweep fig7 fig10 --workers 4 --store results/
+    python -m repro bench-perf [--quick] [--update-baseline]
     python -m repro report --out report.md [--workers 4]
 
 The CLI drives the same public API the examples use; it exists so the
@@ -171,6 +172,34 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-render", action="store_true",
                        help="only run the sweep; don't print figures")
     _add_orchestrator_args(sweep)
+
+    bench = sub.add_parser(
+        "bench-perf",
+        help="measure engine throughput (cycles/sec) on a fixed "
+             "workload matrix and compare against the committed "
+             "baseline",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="2-point matrix, single repeat (CI smoke)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="timed repeats per point, fastest kept "
+                            "(default: 3, or 1 with --quick)")
+    bench.add_argument("--out", default="BENCH_engine.json",
+                       metavar="PATH",
+                       help="result JSON (default BENCH_engine.json)")
+    bench.add_argument("--baseline",
+                       default="benchmarks/BENCH_engine_baseline.json",
+                       metavar="PATH",
+                       help="committed baseline to compare against")
+    bench.add_argument("--threshold", type=float, default=0.30,
+                       help="fractional cycles/sec regression that "
+                            "fails the run (default 0.30)")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="overwrite the baseline with this run "
+                            "instead of comparing")
+    bench.add_argument("--strict", action="store_true",
+                       help="disable quiescence skipping (A/B runs; "
+                            "compared only against a strict baseline)")
 
     report = sub.add_parser(
         "report",
@@ -436,6 +465,50 @@ REPORT_FIGURES = ("table2", "fig3", "fig7", "fig8", "fig9", "fig11",
                   "fig12", "fig13")
 
 
+def _cmd_bench_perf(args) -> int:
+    import os
+    from repro.experiments import benchperf
+
+    def progress(name: str) -> None:
+        print(f"bench-perf: measuring {name} ...", file=sys.stderr)
+
+    payload = benchperf.run_matrix(
+        quick=args.quick, repeats=args.repeats, strict=args.strict,
+        progress=progress,
+    )
+    rows = [
+        [name, point["cycles"], f"{point['wall_seconds']:.2f}",
+         f"{point['cycles_per_second']:.0f}"]
+        for name, point in payload["points"].items()
+    ]
+    print(format_table(
+        ["point", "cycles", "wall s", "cycles/s"], rows,
+    ))
+    benchperf.write_report(args.out, payload)
+    print(f"wrote {args.out}")
+    if args.update_baseline:
+        benchperf.write_report(args.baseline, payload)
+        print(f"updated baseline {args.baseline}")
+        return 0
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; skipping comparison "
+              f"(create one with --update-baseline)")
+        return 0
+    baseline = benchperf.load_report(args.baseline)
+    lines, regressions = benchperf.compare(
+        payload, baseline, threshold=args.threshold,
+    )
+    print()
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} point(s) regressed more than "
+              f"{args.threshold * 100:.0f}%: {', '.join(regressions)}")
+        return 1
+    print(f"\nwithin {args.threshold * 100:.0f}% of baseline")
+    return 0
+
+
 def _cmd_report(args) -> int:
     runner = _make_runner(args.channels, args.store)
     subset = args.subset or DEFAULT_SUBSET
@@ -470,6 +543,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figure(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "bench-perf":
+        return _cmd_bench_perf(args)
     if args.command == "report":
         return _cmd_report(args)
     raise AssertionError("unreachable")

@@ -499,12 +499,18 @@ class NUBASystem(GPUSystem):
         return self.noc.bytes_transferred
 
 
-def build_system(gpu: GPUConfig, topo: TopologySpec) -> GPUSystem:
-    """Factory: build the system matching ``topo.architecture``."""
+def build_system(gpu: GPUConfig, topo: TopologySpec,
+                 strict: bool = False) -> GPUSystem:
+    """Factory: build the system matching ``topo.architecture``.
+
+    ``strict=True`` builds the simulator with quiescence skipping
+    disabled (every component ticks every cycle); results are
+    identical, only slower -- see docs/PERFORMANCE.md.
+    """
     if topo.architecture is Architecture.MEM_SIDE_UBA:
-        return MemSideUBASystem(gpu, topo)
+        return MemSideUBASystem(gpu, topo, strict=strict)
     if topo.architecture is Architecture.SM_SIDE_UBA:
-        return SMSideUBASystem(gpu, topo)
+        return SMSideUBASystem(gpu, topo, strict=strict)
     if topo.architecture is Architecture.NUBA:
-        return NUBASystem(gpu, topo)
+        return NUBASystem(gpu, topo, strict=strict)
     raise ValueError(f"unknown architecture: {topo.architecture}")

@@ -55,11 +55,26 @@ class ModuleEgressLinks(Component):
     def send(self, module: int, request: MemoryRequest, size: int,
              final_sink: Callable[[MemoryRequest], bool]) -> bool:
         """Queue a cross-module packet on the module's egress link."""
+        self.wake()
         return self.links[module].push((final_sink, request), size)
 
     def tick(self, now: int) -> None:
         for link in self.links:
             link.tick(now)
+
+    # -- activity contract ---------------------------------------------
+
+    def idle(self, now: int) -> bool:
+        """Every module's egress link is drained."""
+        for link in self.links:
+            if not link.idle:
+                return False
+        return True
+
+    def on_sleep(self, now: int) -> None:
+        """Clamp each link's banked credit as its idle ticks would."""
+        for link in self.links:
+            link.quiesce()
 
     @property
     def pending(self) -> int:
@@ -188,14 +203,15 @@ class MCMNUBASystem(_MCMMixin, NUBASystem):
         return NUBASystem._interconnect_pending(self) + self.egress.pending
 
 
-def build_mcm_system(gpu: GPUConfig, topo: TopologySpec) -> GPUSystem:
+def build_mcm_system(gpu: GPUConfig, topo: TopologySpec,
+                     strict: bool = False) -> GPUSystem:
     """Factory for MCM systems; ``topo.mcm`` must be set."""
     if topo.mcm is None:
         raise ValueError("topology has no MCM spec")
     if topo.architecture is Architecture.MEM_SIDE_UBA:
-        return MCMMemSideUBASystem(gpu, topo)
+        return MCMMemSideUBASystem(gpu, topo, strict=strict)
     if topo.architecture is Architecture.NUBA:
-        return MCMNUBASystem(gpu, topo)
+        return MCMNUBASystem(gpu, topo, strict=strict)
     raise ValueError(
         f"MCM variant not modelled for {topo.architecture}"
     )

@@ -88,11 +88,15 @@ class GPUSystem:
     #: rebinds a live tracer onto the system and its components.
     tracer: Tracer = NULL_TRACER
 
-    def __init__(self, gpu: GPUConfig, topo: TopologySpec) -> None:
+    def __init__(self, gpu: GPUConfig, topo: TopologySpec,
+                 strict: bool = False) -> None:
         topo.validate(gpu)
         self.gpu = gpu
         self.topo = topo
-        self.sim = Simulator()
+        #: ``strict=True`` disables quiescence skipping (the engine
+        #: ticks every component every cycle); results are identical
+        #: either way -- see docs/PERFORMANCE.md.
+        self.sim = Simulator(strict=strict)
         self.stats: StatsRegistry = self.sim.stats
         self.tracker = RequestTracker()
         self.address_map = make_address_map(gpu, topo.address_map)
@@ -310,7 +314,7 @@ class GPUSystem:
         Returned by the run-timeout error and usable interactively: a
         healthy drained system reports zeros everywhere.
         """
-        busy_sms = sum(1 for sm in self.sms if not sm.idle)
+        busy_sms = sum(1 for sm in self.sms if not sm.drained)
         outstanding = sum(
             warp.outstanding
             for sm in self.sms
@@ -330,7 +334,7 @@ class GPUSystem:
 
     def _drained(self) -> bool:
         for sm in self.sms:
-            if not sm.idle:
+            if not sm.drained:
                 return False
         if self._interconnect_pending():
             return False
@@ -409,6 +413,81 @@ class GPUSystem:
 
     def _noc_bytes(self) -> int:
         raise NotImplementedError
+
+    def stats_snapshot(self) -> StatsRegistry:
+        """Publish every component's counters into the shared registry.
+
+        Writes the full per-component statistic set (SM issue/stall
+        counters, L1 and LLC hit/miss breakdowns, queue high-water
+        marks, DRAM service counts, TLB/walker activity, interconnect
+        traffic) under hierarchical dotted names and returns the
+        registry. This is the surface the quiescence equivalence suite
+        compares field-by-field between default and ``strict=True``
+        runs, so anything observable a skipped tick could perturb
+        belongs here.
+        """
+        stats = self.stats
+        set_ = stats.set
+        for sm in self.sms:
+            p = sm.name
+            set_(f"{p}.instructions", sm.instructions)
+            set_(f"{p}.loads_issued", sm.loads_issued)
+            set_(f"{p}.loads_completed", sm.loads_completed)
+            set_(f"{p}.stores_issued", sm.stores_issued)
+            set_(f"{p}.stall_cycles", sm.stall_cycles)
+            set_(f"{p}.barriers_completed", sm.barriers_completed)
+            for scheduler in sm.schedulers:
+                sp = f"{p}.sched{scheduler.scheduler_id}"
+                set_(f"{sp}.issues", scheduler.issues)
+                set_(f"{sp}.idle_cycles", scheduler.idle_cycles)
+            set_(f"{p}.l1.load_hits", sm.l1.load_hits)
+            set_(f"{p}.l1.load_misses", sm.l1.load_misses)
+            set_(f"{p}.l1.stores", sm.l1.stores)
+            set_(f"{p}.l1.flushes", sm.l1.flushes)
+            set_(f"{p}.tlb.hits", sm.mmu.l1.hits)
+            set_(f"{p}.tlb.misses", sm.mmu.l1.misses)
+        for llc_slice in self.slices:
+            p = llc_slice.name
+            set_(f"{p}.hits", llc_slice.hits)
+            set_(f"{p}.misses", llc_slice.misses)
+            set_(f"{p}.local_accesses", llc_slice.local_accesses)
+            set_(f"{p}.remote_accesses", llc_slice.remote_accesses)
+            set_(f"{p}.replica_hits", llc_slice.replica_hits)
+            set_(f"{p}.replica_fills", llc_slice.replica_fills)
+            set_(f"{p}.writebacks", llc_slice.writebacks)
+            set_(f"{p}.invalidations", llc_slice.invalidations)
+            set_(f"{p}.port_cycles", llc_slice.port_cycles)
+            set_(f"{p}.flush_ops", llc_slice.flush_ops)
+            set_(f"{p}.mshr_entries", len(llc_slice.mshr))
+            for queue in (llc_slice.lmr, llc_slice.rmr,
+                          llc_slice.fill_queue):
+                set_(f"{queue.name}.peak", queue.peak_occupancy)
+                set_(f"{queue.name}.pushed", queue.total_pushed)
+        for mc in self.mcs:
+            p = mc.name
+            set_(f"{p}.reads", mc.reads)
+            set_(f"{p}.writes", mc.writes)
+            set_(f"{p}.lines_transferred", mc.lines_transferred)
+            set_(f"{p}.busy_cycles", mc.busy_cycles)
+            set_(f"{p}.row_hits", sum(b.row_hits for b in mc.banks))
+            set_(f"{p}.row_misses", sum(b.row_misses for b in mc.banks))
+        set_("l2tlb.hits", self.l2_tlb.hits)
+        set_("l2tlb.misses", self.l2_tlb.misses)
+        set_("walkers.walks", self.walkers.walks)
+        set_("noc.bytes", self._noc_bytes())
+        set_("tracker.completed", self.tracker.completed)
+        set_("tracker.completed_loads", self.tracker.completed_loads)
+        set_("tracker.local", self.tracker.local)
+        set_("tracker.remote", self.tracker.remote)
+        set_("tracker.replica_hits", self.tracker.replica_hits)
+        set_("tracker.llc_hits", self.tracker.llc_hits)
+        set_("tracker.mem_accesses", self.tracker.mem_accesses)
+        set_("tracker.total_latency", self.tracker.total_latency)
+        set_("driver.pages_allocated", self.driver.pages_allocated)
+        set_("mdr.epochs", len(self.mdr.decisions))
+        set_("mdr.replication_epochs", self.mdr.replication_epochs)
+        set_("sim.cycle", self.sim.cycle)
+        return stats
 
     def sharing_histogram(self):
         """Page-sharing histogram (Figure 3 input)."""

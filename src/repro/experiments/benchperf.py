@@ -1,0 +1,158 @@
+"""Engine throughput measurement (``repro bench-perf``).
+
+The quiescence-aware engine (docs/PERFORMANCE.md) is justified by
+wall-clock numbers, so this module makes the measurement reproducible:
+a fixed matrix of workload x architecture points, each simulated
+end-to-end while timing ``run_workload``, reported as simulated
+cycles per host second.
+
+The matrix deliberately spans both sides of the engine's behaviour:
+
+* UBA points (``MEM_SIDE_UBA`` + first-touch) have long drain phases
+  where most components sleep -- they show the quiescence win;
+* NUBA points (``NUBA`` + MDR) keep the machine busy -- they bound the
+  bookkeeping overhead the activity contract adds to a saturated run.
+
+Results are written to ``BENCH_engine.json`` and compared against a
+committed baseline (``benchmarks/BENCH_engine_baseline.json``) with a
+configurable regression threshold, which is what the CI ``perf-smoke``
+job runs (``--quick``). Throughput is host-dependent: refresh the
+baseline with ``repro bench-perf --update-baseline`` when moving to new
+hardware, and read cross-host comparisons as orders of magnitude only.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.config.topology import Architecture, PagePolicy, ReplicationPolicy
+from repro.experiments.runner import ExperimentRunner, RunKey
+from repro.workloads.suite import get_benchmark
+
+#: The fixed measurement matrix: UBA/NUBA x two benchmarks (one
+#: low-sharing streaming workload, one high-sharing DNN workload).
+MATRIX: Tuple[RunKey, ...] = (
+    RunKey("KMEANS", Architecture.MEM_SIDE_UBA,
+           page_policy=PagePolicy.FIRST_TOUCH),
+    RunKey("KMEANS", Architecture.NUBA,
+           replication=ReplicationPolicy.MDR),
+    RunKey("AN", Architecture.MEM_SIDE_UBA,
+           page_policy=PagePolicy.FIRST_TOUCH),
+    RunKey("AN", Architecture.NUBA,
+           replication=ReplicationPolicy.MDR),
+)
+
+#: ``--quick`` subset for CI: one UBA and one NUBA point.
+QUICK_MATRIX: Tuple[RunKey, ...] = (MATRIX[0], MATRIX[1])
+
+
+def point_id(key: RunKey) -> str:
+    """Stable identifier for a matrix point (JSON key)."""
+    return f"{key.benchmark}/{key.architecture.value}"
+
+
+def measure_point(key: RunKey, repeats: int = 3,
+                  strict: bool = False) -> Dict[str, float]:
+    """Simulate one point ``repeats`` times; keep the fastest run.
+
+    Every repeat builds a fresh system (no warm caches); only
+    ``run_workload`` is timed, so workload generation and system
+    construction stay out of the number.
+    """
+    best: Optional[float] = None
+    cycles = 0
+    for _ in range(max(1, repeats)):
+        runner = ExperimentRunner(strict=strict)
+        system = runner.build(key)
+        workload = get_benchmark(key.benchmark).instantiate(system.gpu)
+        start = time.perf_counter()
+        result = system.run_workload(workload, max_cycles=runner.max_cycles)
+        elapsed = time.perf_counter() - start
+        cycles = result.cycles
+        if best is None or elapsed < best:
+            best = elapsed
+    assert best is not None
+    return {
+        "cycles": cycles,
+        "wall_seconds": round(best, 4),
+        "cycles_per_second": round(cycles / best, 1) if best else 0.0,
+    }
+
+
+def run_matrix(quick: bool = False, repeats: Optional[int] = None,
+               strict: bool = False,
+               progress=None) -> Dict[str, object]:
+    """Measure the (full or quick) matrix; returns the report payload."""
+    keys = QUICK_MATRIX if quick else MATRIX
+    if repeats is None:
+        repeats = 1 if quick else 3
+    points: Dict[str, Dict[str, float]] = {}
+    for key in keys:
+        if progress is not None:
+            progress(point_id(key))
+        points[point_id(key)] = measure_point(key, repeats, strict=strict)
+    return {
+        "schema": "repro-bench-engine/1",
+        "mode": "strict" if strict else "quiescent",
+        "quick": quick,
+        "repeats": repeats,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "points": points,
+    }
+
+
+def write_report(path: str, payload: Dict[str, object]) -> None:
+    """Write one report as stable (sorted, indented) JSON."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict[str, object]:
+    """Load a report written by :func:`write_report`."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def compare(current: Dict[str, object], baseline: Dict[str, object],
+            threshold: float = 0.30) -> Tuple[List[str], List[str]]:
+    """Compare two reports point-by-point.
+
+    Returns ``(lines, regressions)``: human-readable comparison lines
+    for every point present in both reports, and the subset that
+    regressed by more than ``threshold`` (fractional cycles/sec drop).
+    Points missing from either side are skipped -- a quick run checks
+    only its own two points against a full baseline.
+    """
+    lines: List[str] = []
+    regressions: List[str] = []
+    if current.get("mode") != baseline.get("mode"):
+        lines.append(
+            f"note: mode mismatch (current={current.get('mode')}, "
+            f"baseline={baseline.get('mode')}); comparison skipped"
+        )
+        return lines, regressions
+    base_points = baseline.get("points", {})
+    for name, point in current.get("points", {}).items():
+        base = base_points.get(name)
+        if base is None:
+            continue
+        cur_cps = point["cycles_per_second"]
+        base_cps = base["cycles_per_second"]
+        ratio = (cur_cps / base_cps) if base_cps else float("inf")
+        verdict = "ok"
+        if ratio < 1.0 - threshold:
+            verdict = "REGRESSION"
+            regressions.append(name)
+        lines.append(
+            f"{name:<24} {cur_cps:>10.0f} cyc/s  baseline "
+            f"{base_cps:>10.0f}  ({ratio:.2f}x) {verdict}"
+        )
+    return lines, regressions

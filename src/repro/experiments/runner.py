@@ -89,12 +89,17 @@ class ExperimentRunner:
     def __init__(self, base_gpu: Optional[GPUConfig] = None,
                  mdr_epoch: int = SCALED_MDR_EPOCH,
                  max_cycles: int = 3_000_000,
-                 store=None, observer=None) -> None:
+                 store=None, observer=None,
+                 strict: bool = False) -> None:
         self.base_gpu = base_gpu if base_gpu is not None else small_config()
         self.mdr_epoch = mdr_epoch
         self.max_cycles = max_cycles
         self.store = store
         self.observer = observer
+        #: Build systems with quiescence skipping disabled (results are
+        #: identical; this exists for debugging and A/B perf runs, so it
+        #: is deliberately NOT part of :meth:`cache_settings`).
+        self.strict = strict
         self._cache: Dict[RunKey, RunResult] = {}
         self._system_cache: Dict[RunKey, GPUSystem] = {}
         self.simulations_run = 0
@@ -172,8 +177,8 @@ class ExperimentRunner:
         gpu = self.gpu_for(key)
         topo = self.topology_for(key)
         if key.mcm_modules:
-            return build_mcm_system(gpu, topo)
-        return build_system(gpu, topo)
+            return build_mcm_system(gpu, topo, strict=self.strict)
+        return build_system(gpu, topo, strict=self.strict)
 
     # ------------------------------------------------------------------
     # Execution.

@@ -72,8 +72,9 @@ class MemoryController(Component):
 
     def enqueue(self, request: MemoryRequest) -> bool:
         """Accept a demand request or writeback; False when full."""
-        if self.full:
+        if len(self._queue) >= self.queue_capacity:
             return False
+        self.wake()
         line = request.line_addr
         self._queue.append((request, self.bank_of(line), self.row_of(line)))
         return True
@@ -84,6 +85,7 @@ class MemoryController(Component):
         Writebacks must not be dropped, so they are accepted even when the
         queue is nominally full (real controllers reserve writeback slots).
         """
+        self.wake()
         request = MemoryRequest(AccessKind.STORE, line_addr, sm_id=-1)
         self._queue.append(
             (request, self.bank_of(line_addr), self.row_of(line_addr))
@@ -99,12 +101,25 @@ class MemoryController(Component):
     # ------------------------------------------------------------------
 
     def tick(self, now: int) -> None:
-        self._deliver(now)
+        if self._retry_fills or self._completions:
+            self._deliver(now)
         # One command per cycle; bank accesses overlap (bank-level
         # parallelism) and the data bus serialises the resulting line
         # transfers via the bus reservation in _schedule.
         if self._queue:
             self._schedule(now)
+
+    # -- activity contract ---------------------------------------------
+
+    def idle(self, now: int) -> bool:
+        """Nothing queued, completing or retrying.
+
+        Bank/bus timing state needs no ticks on its own: ``Bank.ready``
+        and the bus reservation are compared against absolute cycles
+        when the next request arrives (:meth:`enqueue` wakes us), so a
+        drained controller behaves identically however long it sleeps.
+        """
+        return not (self._queue or self._completions or self._retry_fills)
 
     def _deliver(self, now: int) -> None:
         while self._retry_fills:

@@ -47,6 +47,7 @@ class PartitionLinks(Component):
 
     def send_request(self, request: MemoryRequest) -> bool:
         """Queue a request on the SM-to-LLC direction."""
+        self.wake()
         accepted = self.request_link.push(request, request.request_bytes)
         if accepted and self.tracer.enabled:
             self.tracer.emit_hop(
@@ -58,6 +59,7 @@ class PartitionLinks(Component):
 
     def send_reply(self, request: MemoryRequest) -> bool:
         """Queue a reply on the LLC-to-SM direction."""
+        self.wake()
         accepted = self.reply_link.push(request, request.reply_bytes)
         if accepted and self.tracer.enabled:
             self.tracer.emit_hop(
@@ -70,6 +72,18 @@ class PartitionLinks(Component):
     def tick(self, now: int) -> None:
         self.request_link.tick(now)
         self.reply_link.tick(now)
+
+    # -- activity contract ---------------------------------------------
+
+    def idle(self, now: int) -> bool:
+        """Both directions drained (nothing queued or in flight)."""
+        return self.request_link.idle and self.reply_link.idle
+
+    def on_sleep(self, now: int) -> None:
+        """Apply the idle-cycle credit clamp each link's strict-mode
+        tick would have performed (idempotent, so once is enough)."""
+        self.request_link.quiesce()
+        self.reply_link.quiesce()
 
     @property
     def pending(self) -> int:

@@ -27,15 +27,27 @@ from typing import Dict, List
 
 
 class _TickProxy:
-    """Stand-in that times one component's ``tick`` calls."""
+    """Stand-in that times one component's ``tick`` calls.
 
-    __slots__ = ("inner", "name", "ticks", "seconds")
+    The proxy is transparent to the engine's activity contract: the
+    awake flag and idle bookkeeping live on the wrapped component
+    (ingress ``wake()`` calls land there, since routing sinks hold
+    references to the real component), so ``_awake``/``_idle_since``
+    delegate, and ``idle``/``on_sleep``/``on_skipped`` forward.  A
+    profiled run therefore skips exactly the ticks an unprofiled run
+    would -- profiling no longer forces every component back onto the
+    hot path -- and the proxy counts the skips it is told about.
+    """
+
+    __slots__ = ("inner", "name", "ticks", "seconds", "skipped")
 
     def __init__(self, inner) -> None:
         self.inner = inner
         self.name = inner.name
         self.ticks = 0
         self.seconds = 0.0
+        #: Strict-mode ticks the engine elided for this component.
+        self.skipped = 0
 
     def tick(self, now: int) -> None:
         """Forward one cycle to the wrapped component, timed."""
@@ -43,6 +55,45 @@ class _TickProxy:
         self.inner.tick(now)
         self.seconds += time.perf_counter() - start
         self.ticks += 1
+
+    # -- activity contract (delegated to the wrapped component) --------
+
+    @property
+    def _awake(self) -> bool:
+        return self.inner._awake
+
+    @_awake.setter
+    def _awake(self, value: bool) -> None:
+        self.inner._awake = value
+
+    @property
+    def _idle_since(self) -> int:
+        return self.inner._idle_since
+
+    @_idle_since.setter
+    def _idle_since(self, value: int) -> None:
+        self.inner._idle_since = value
+
+    @property
+    def tracer(self):
+        return self.inner.tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self.inner.tracer = value
+
+    def idle(self, now: int) -> bool:
+        return self.inner.idle(now)
+
+    def wake(self) -> None:
+        self.inner.wake()
+
+    def on_sleep(self, now: int) -> None:
+        self.inner.on_sleep(now)
+
+    def on_skipped(self, cycles: int) -> None:
+        self.skipped += cycles
+        self.inner.on_skipped(cycles)
 
 
 class TickProfiler:
@@ -107,6 +158,9 @@ class TickProfiler:
         ticks = sum(proxy.ticks for proxy in self._proxies)
         if ticks:
             lines[0] += f" ({ticks} ticks)"
+        skipped = sum(proxy.skipped for proxy in self._proxies)
+        if skipped:
+            lines[0] += f" ({skipped} skipped by quiescence)"
         for group, seconds in list(self.by_group().items())[:top]:
             share = (seconds / total * 100.0) if total else 0.0
             lines.append(

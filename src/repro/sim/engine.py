@@ -14,6 +14,39 @@ registration point, not by ``cycle % period``: a hook registered on a
 simulator that has already run keeps its own period from the moment of
 registration instead of snapping to absolute multiples of the period.
 
+Quiescence skipping (docs/PERFORMANCE.md)
+-----------------------------------------
+
+Most cycles, most components have nothing to do: SMs whose warps are
+all waiting on memory, LLC slices with empty queues, links with nothing
+in flight. Ticking them anyway is pure Python overhead, so the engine
+maintains an *activity contract*:
+
+* After a component ticks, the engine asks :meth:`Component.idle`.  A
+  ``True`` answer is a promise that every future ``tick`` would be a
+  no-op until an *external* event arrives; the engine then stops
+  ticking the component.
+* External events (a request pushed into an ingress queue, a reply
+  delivered, a kernel launched) call :meth:`Component.wake`, which puts
+  the component back on the active list.  A component woken before its
+  registration slot in the current cycle still ticks this cycle --
+  exactly the visibility order strict mode produces.
+* Components whose skipped ticks would have advanced per-cycle
+  counters (an SM counts stall cycles even when fully blocked)
+  implement :meth:`Component.on_skipped`; the engine reports the exact
+  number of skipped cycles before the next tick, before any clock hook
+  fires, and before ``run``/``run_until`` return, so every observation
+  point sees counters identical to strict mode's.
+* When *every* component is asleep, ``run``/``run_until`` fast-forward
+  the clock to the next hook deadline (or the chunk/run end) instead of
+  stepping cycle by cycle.
+
+``Simulator(strict=True)`` disables all of this and ticks every
+component every cycle -- the escape hatch for debugging a suspected
+equivalence violation.  The equivalence bar is strict: a quiescence
+run must produce field-identical statistics and identical trace event
+streams (tests/test_engine_quiescence.py).
+
 Every component carries a ``tracer`` attribute (the shared disabled
 :data:`~repro.obs.tracer.NULL_TRACER` by default) so instrumentation
 sites can guard event emission with one attribute check; see
@@ -27,9 +60,18 @@ from typing import Callable, List, Optional
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.stats import StatsRegistry
 
+#: Sentinel next-fire cycle when no clock hooks are registered.
+_NEVER = float("inf")
+
 
 class Component:
-    """Base class for everything that does per-cycle work."""
+    """Base class for everything that does per-cycle work.
+
+    Subclasses that want to benefit from quiescence skipping override
+    :meth:`idle` (and :meth:`on_skipped` / :meth:`on_sleep` when their
+    strict-mode tick mutates state even while quiescent).  The default
+    contract -- never idle -- keeps arbitrary components correct.
+    """
 
     #: Shared disabled tracer; replaced per instance when a run is
     #: traced (:meth:`repro.obs.tracer.Tracer.bind`).
@@ -37,29 +79,97 @@ class Component:
 
     def __init__(self, name: str) -> None:
         self.name = name
+        #: Owning simulator (set by :meth:`Simulator.add`).
+        self._sim: Optional["Simulator"] = None
+        #: False while the engine is skipping this component.
+        self._awake = True
+        #: First cycle this component did not tick (-1 = none pending);
+        #: the engine uses it to report exact skip counts.
+        self._idle_since = -1
+        #: Pre-created per instance (shadowing the class default) so
+        #: :meth:`~repro.obs.tracer.Tracer.bind` replaces an existing
+        #: ``__dict__`` key instead of growing the dict of every hot
+        #: component -- the resize measurably slows all attribute
+        #: lookups on those instances.
+        self.tracer = NULL_TRACER
 
     def tick(self, now: int) -> None:
         """Advance this component by one cycle."""
         raise NotImplementedError
+
+    # -- activity contract --------------------------------------------
+
+    def idle(self, now: int) -> bool:
+        """True when every future ``tick`` is a no-op until an external
+        event calls :meth:`wake`.  Evaluated right after ``tick(now)``.
+
+        The promise must hold *exactly*: a component whose strict-mode
+        tick would mutate any state (even a counter) while "idle" must
+        either return False or reproduce the mutation in
+        :meth:`on_skipped`.
+        """
+        return False
+
+    def wake(self) -> None:
+        """Re-activate after an external event (idempotent, cheap)."""
+        if not self._awake:
+            self._awake = True
+            sim = self._sim
+            if sim is not None:
+                sim._n_asleep -= 1
+
+    def on_sleep(self, now: int) -> None:
+        """Hook invoked once when the engine stops ticking this
+        component; apply any idempotent per-idle-cycle state transition
+        here (e.g. a bandwidth link's credit clamp)."""
+
+    def on_skipped(self, cycles: int) -> None:
+        """Account ``cycles`` skipped ticks.
+
+        Called with the exact number of strict-mode ticks the engine
+        elided since the component went to sleep (or since the last
+        ``on_skipped`` report).  Override when the quiescent tick would
+        still have advanced per-cycle counters.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name}>"
 
 
 class Simulator:
-    """Owns the clock, the component list and the shared stats registry."""
+    """Owns the clock, the component list and the shared stats registry.
 
-    def __init__(self, stats: Optional[StatsRegistry] = None) -> None:
+    ``strict=True`` restores the historical tick-everything-every-cycle
+    behaviour (no quiescence skipping, no fast-forward).
+    """
+
+    def __init__(self, stats: Optional[StatsRegistry] = None,
+                 strict: bool = False) -> None:
         self.cycle = 0
         self.components: List[Component] = []
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer: Tracer = NULL_TRACER
+        self.strict = strict
+        #: Components currently skipped by the engine.
+        self._n_asleep = 0
+        #: Total component-ticks elided so far (observability only;
+        #: never part of an equivalence-checked snapshot).
+        self.skipped_ticks = 0
+        #: Cycles the clock fast-forwarded over while fully quiescent.
+        self.fast_forwarded_cycles = 0
         # Mutable [next_fire, period, callback] triples; next_fire is
         # per-hook so late-registered hooks keep their own cadence.
         self._hooks: List[list] = []
+        #: Earliest pending hook fire (cached so the hot loop checks
+        #: one number instead of scanning the hook list every cycle).
+        self._next_hook = _NEVER
 
     def add(self, component: Component) -> Component:
         """Register a component; returns it for chaining."""
+        component._sim = self
+        if not component._awake:
+            component._awake = True
+            component._idle_since = -1
         self.components.append(component)
         return component
 
@@ -75,23 +185,107 @@ class Simulator:
         """
         if period <= 0:
             raise ValueError("period must be positive")
-        self._hooks.append([self.cycle + period, period, callback])
+        next_fire = self.cycle + period
+        self._hooks.append([next_fire, period, callback])
+        if next_fire < self._next_hook:
+            self._next_hook = next_fire
+
+    # ------------------------------------------------------------------
+    # The hot loop.
+    # ------------------------------------------------------------------
 
     def step(self) -> None:
-        """Advance the simulation by one cycle."""
+        """Advance the simulation by one cycle.
+
+        Note: with quiescence skipping on, per-cycle counters of
+        sleeping components (e.g. SM stall cycles) are reported lazily;
+        they are exact whenever a clock hook fires and when
+        ``run``/``run_until`` return.  Call :meth:`sync` before reading
+        statistics between raw ``step`` calls.
+        """
         now = self.cycle
-        for component in self.components:
-            component.tick(now)
-        self.cycle += 1
+        if self.strict:
+            for component in self.components:
+                component.tick(now)
+        else:
+            for component in self.components:
+                if component._awake:
+                    since = component._idle_since
+                    if since >= 0:
+                        if now > since:
+                            self.skipped_ticks += now - since
+                            component.on_skipped(now - since)
+                        component._idle_since = -1
+                    component.tick(now)
+                    if component.idle(now):
+                        component._awake = False
+                        component._idle_since = now + 1
+                        component.on_sleep(now)
+                        self._n_asleep += 1
+        self.cycle = now + 1
+        if self.cycle >= self._next_hook:
+            self._fire_hooks()
+
+    def _fire_hooks(self) -> None:
+        """Run every hook whose next-fire cycle has been reached."""
+        self.sync()
+        cycle = self.cycle
+        next_hook = _NEVER
         for hook in self._hooks:
-            if self.cycle >= hook[0]:
+            if cycle >= hook[0]:
                 hook[0] += hook[1]
-                hook[2](self.cycle)
+                hook[2](cycle)
+            if hook[0] < next_hook:
+                next_hook = hook[0]
+        self._next_hook = next_hook
+
+    def sync(self) -> None:
+        """Flush lazily accounted skip cycles into component counters.
+
+        After this, every component's statistics match what strict mode
+        would report at the current cycle.  Invoked automatically
+        before hook callbacks and when ``run``/``run_until`` return.
+        """
+        cycle = self.cycle
+        for component in self.components:
+            since = component._idle_since
+            if 0 <= since < cycle:
+                self.skipped_ticks += cycle - since
+                component.on_skipped(cycle - since)
+                component._idle_since = cycle
+
+    def _fast_forward(self, limit: int) -> None:
+        """Jump the clock while every component sleeps.
+
+        Advances straight to the next hook deadline (hooks can create
+        new work, e.g. page migration enqueueing DRAM writebacks) or to
+        ``limit``, whichever comes first, and fires any hooks due at
+        the landing cycle.  Equivalent to stepping: a fully quiescent
+        strict-mode cycle only advances the clock and checks hooks.
+        """
+        target = self._next_hook
+        if target > limit:
+            target = limit
+        self.fast_forwarded_cycles += target - self.cycle
+        self.cycle = target
+        if target >= self._next_hook:
+            self._fire_hooks()
 
     def run(self, cycles: int) -> None:
         """Run a fixed number of cycles."""
-        for _ in range(cycles):
-            self.step()
+        end = self.cycle + cycles
+        if self.strict:
+            step = self.step
+            for _ in range(cycles):
+                step()
+            return
+        n_components = len(self.components)
+        while self.cycle < end:
+            if self._n_asleep == n_components:
+                self._fast_forward(end)
+            else:
+                self.step()
+        self.sync()
 
     def run_until(
         self,
@@ -102,13 +296,28 @@ class Simulator:
         """Run until ``done()`` is true or ``max_cycles`` elapse.
 
         ``done`` is evaluated every ``check_period`` cycles to keep the
-        hot loop tight. Returns ``True`` when the predicate fired.
+        hot loop tight; the final chunk is clamped so the run never
+        oversteps ``max_cycles``. Returns ``True`` when the predicate
+        fired.
         """
         deadline = self.cycle + max_cycles
         step = self.step
+        strict = self.strict
+        n_components = len(self.components)
         while self.cycle < deadline:
-            for _ in range(check_period):
-                step()
+            chunk_end = self.cycle + check_period
+            if chunk_end > deadline:
+                chunk_end = deadline
+            if strict:
+                while self.cycle < chunk_end:
+                    step()
+            else:
+                while self.cycle < chunk_end:
+                    if self._n_asleep == n_components:
+                        self._fast_forward(chunk_end)
+                    else:
+                        step()
+                self.sync()
             if done():
                 return True
         return done()

@@ -5,6 +5,10 @@ NUBA evaluation hinges on. A :class:`BandwidthLink` transfers a bounded
 number of bytes per cycle and delivers packets after a fixed pipeline
 latency -- it models both the NUBA point-to-point partition links and the
 per-port behaviour of crossbar NoCs.
+
+All three classes are slotted: queue and delay-line instances number in
+the hundreds and sit on every per-cycle path, so avoiding per-instance
+``__dict__`` lookups is a measurable win (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -22,6 +26,9 @@ class BoundedQueue(Generic[T]):
     stall, which is how structural back-pressure propagates through the
     model (e.g. a full LMR queue stalls the partition link, Figure 5).
     """
+
+    __slots__ = ("capacity", "name", "_items", "peak_occupancy",
+                 "total_pushed")
 
     def __init__(self, capacity: int, name: str = "queue") -> None:
         if capacity <= 0:
@@ -48,12 +55,13 @@ class BoundedQueue(Generic[T]):
 
     def push(self, item: T) -> bool:
         """Append an item; False when the queue is full."""
-        if self.full:
+        items = self._items
+        if len(items) >= self.capacity:
             return False
-        self._items.append(item)
+        items.append(item)
         self.total_pushed += 1
-        if len(self._items) > self.peak_occupancy:
-            self.peak_occupancy = len(self._items)
+        if len(items) > self.peak_occupancy:
+            self.peak_occupancy = len(items)
         return True
 
     def peek(self) -> Optional[T]:
@@ -87,6 +95,8 @@ class DelayLine(Generic[T]):
     constant, so ``pop_ready`` only inspects the head.
     """
 
+    __slots__ = ("delay", "_items")
+
     def __init__(self, delay: int) -> None:
         if delay < 0:
             raise ValueError("delay must be non-negative")
@@ -103,14 +113,21 @@ class DelayLine(Generic[T]):
     def pop_ready(self, now: int) -> List[T]:
         """Remove and return every item whose delay elapsed."""
         ready: List[T] = []
-        while self._items and self._items[0][0] <= now:
-            ready.append(self._items.popleft()[1])
+        items = self._items
+        while items and items[0][0] <= now:
+            ready.append(items.popleft()[1])
         return ready
 
     def peek_ready(self, now: int) -> Optional[T]:
         """The first ready item, if any, without removing it."""
         if self._items and self._items[0][0] <= now:
             return self._items[0][1]
+        return None
+
+    def next_ready_cycle(self) -> Optional[int]:
+        """Ready cycle of the head item (None when empty)."""
+        if self._items:
+            return self._items[0][0]
         return None
 
 
@@ -126,6 +143,10 @@ class BandwidthLink(Generic[T]):
     (downstream queue full) leaves the packet at the head of the arrival
     pipe, modelling head-of-line blocking back-pressure.
     """
+
+    __slots__ = ("width_bytes", "latency", "sink", "name", "_credit_cap",
+                 "input", "_in_flight", "_credit", "bytes_transferred",
+                 "packets_transferred", "busy_cycles")
 
     def __init__(
         self,
@@ -160,34 +181,56 @@ class BandwidthLink(Generic[T]):
     def pending(self) -> int:
         return len(self.input) + len(self._in_flight)
 
+    @property
+    def idle(self) -> bool:
+        """True when a tick would be a no-op: nothing queued or in
+        flight. A quiescing owner must also call :meth:`quiesce` to
+        reproduce the per-idle-cycle credit clamp."""
+        return not self.input._items and not self._in_flight
+
+    def quiesce(self) -> None:
+        """Apply the idle-cycle credit clamp once.
+
+        A strict-mode tick with an empty ingress clamps banked credit to
+        one cycle's width every cycle; the clamp is idempotent, so a
+        component that stops ticking an idle link calls this once at
+        sleep time to leave the credit bit-identical to strict mode.
+        """
+        if self._credit > self.width_bytes:
+            self._credit = self.width_bytes
+
     def tick(self, now: int) -> None:
         """Advance the link by one cycle: earn credit, launch packets and
         deliver packets whose latency elapsed."""
         # Deliver arrivals (head-of-line blocking if sink refuses).
-        while self._in_flight and self._in_flight[0][0] <= now:
-            _, item = self._in_flight[0]
-            if not self.sink(item):
+        in_flight = self._in_flight
+        while in_flight and in_flight[0][0] <= now:
+            if not self.sink(in_flight[0][1]):
                 break
-            self._in_flight.popleft()
+            in_flight.popleft()
 
         # Transfer new packets within the accumulated credit.
-        if not self.input:
+        queued = self.input._items
+        if not queued:
             # An idle link cannot bank more than one cycle of bandwidth.
-            self._credit = min(self._credit, self.width_bytes)
+            if self._credit > self.width_bytes:
+                self._credit = self.width_bytes
             return
         self.busy_cycles += 1
-        self._credit = min(self._credit + self.width_bytes, self._credit_cap)
-        while self.input:
-            head = self.input.peek()
-            assert head is not None
-            item, size = head
-            if self._credit < size:
+        credit = self._credit + self.width_bytes
+        if credit > self._credit_cap:
+            credit = self._credit_cap
+        pop = self.input.pop
+        while queued:
+            item, size = queued[0]
+            if credit < size:
                 break
-            self._credit -= size
-            self.input.pop()
-            self._in_flight.append((now + self.latency, item))
+            credit -= size
+            pop()
+            in_flight.append((now + self.latency, item))
             self.bytes_transferred += size
             self.packets_transferred += 1
+        self._credit = credit
 
     def utilization(self, cycles: int) -> float:
         """Fraction of the link's byte budget actually used."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import sys
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -57,14 +58,23 @@ class AccessKind(enum.Enum):
 
 _req_ids = itertools.count()
 
+#: ``dataclass(slots=True)`` needs Python 3.10; on 3.9 requests fall
+#: back to __dict__ storage (slower, same behaviour).
+_DATACLASS_KWARGS = (
+    {"eq": False, "slots": True}
+    if sys.version_info >= (3, 10) else {"eq": False}
+)
 
-@dataclass(eq=False)
+
+@dataclass(**_DATACLASS_KWARGS)
 class MemoryRequest:
     """One line-granularity memory request.
 
     Attributes mirror the metadata a real request would carry plus
     book-keeping used for statistics (issue/completion cycles, whether the
-    request was served locally, and at which level it hit).
+    request was served locally, and at which level it hit). Slotted:
+    requests are the highest-churn objects in the model (one per L1 miss)
+    and every hop reads several fields.
     """
 
     kind: AccessKind
@@ -149,6 +159,10 @@ class RequestTracker:
     Used by the system model to produce the Figure 8 (replies per cycle)
     and Figure 9 (local versus remote L1-miss breakdown) style numbers.
     """
+
+    __slots__ = ("completed", "completed_loads", "local", "remote",
+                 "replica_hits", "total_latency", "llc_hits",
+                 "mem_accesses")
 
     def __init__(self) -> None:
         self.completed = 0

@@ -13,22 +13,32 @@ from typing import Dict, Iterable, List, Mapping, Sequence
 
 
 class Histogram:
-    """An integer-keyed histogram (e.g. pages by sharing degree, Fig. 3)."""
+    """An integer-keyed histogram (e.g. pages by sharing degree, Fig. 3).
+
+    A running total is maintained on :meth:`add` so ``total``,
+    :meth:`fraction` and :meth:`bucket_fractions` are O(1)/O(buckets)
+    instead of re-summing every bin -- they run inside timeline
+    sampling hooks on the hot path.
+    """
+
+    __slots__ = ("name", "_bins", "_total")
 
     def __init__(self, name: str = "histogram") -> None:
         self.name = name
         self._bins: Dict[int, int] = defaultdict(int)
+        self._total = 0
 
     def add(self, key: int, count: int = 1) -> None:
         """Add mass to one key's bin."""
         self._bins[key] += count
+        self._total += count
 
     def __getitem__(self, key: int) -> int:
         return self._bins.get(key, 0)
 
     @property
     def total(self) -> int:
-        return sum(self._bins.values())
+        return self._total
 
     def keys(self) -> List[int]:
         """The populated keys in ascending order."""
@@ -36,7 +46,7 @@ class Histogram:
 
     def fraction(self, key: int) -> float:
         """One key's share of the total mass."""
-        total = self.total
+        total = self._total
         if total == 0:
             return 0.0
         return self._bins.get(key, 0) / total
@@ -47,7 +57,7 @@ class Histogram:
         Used to reproduce the Figure 3 groupings (1 SM, 2-10 SMs, 11-25
         SMs, 26-64 SMs).
         """
-        total = self.total
+        total = self._total
         if total == 0:
             return [0.0] * len(buckets)
         fractions = []
@@ -68,6 +78,8 @@ class StatsRegistry:
     ``"llc.slice3.hits"``; the registry supports prefix aggregation so the
     reporting layer can ask for ``sum("llc.", ".hits")``.
     """
+
+    __slots__ = ("_counters",)
 
     def __init__(self) -> None:
         self._counters: Dict[str, float] = defaultdict(float)

@@ -108,6 +108,7 @@ class SMCore(Component):
             1, self.gpu.sm.warps_per_sm // cta_source.warps_per_cta
         )
         self._refill_ctas()
+        self.wake()
 
     def _refill_ctas(self) -> None:
         if self._cta_source is None:
@@ -132,7 +133,7 @@ class SMCore(Component):
                 self.schedulers[warp.sched_index].add_warp(warp)
 
     @property
-    def idle(self) -> bool:
+    def drained(self) -> bool:
         """True when this SM has fully drained its assigned work."""
         if self._active_ctas and not all(c.finished for c in self._active_ctas):
             return False
@@ -146,6 +147,7 @@ class SMCore(Component):
 
     def deliver_reply(self, request: MemoryRequest) -> bool:
         """Accept a memory reply from the interconnect."""
+        self.wake()
         return self._replies.push(request)
 
     # ------------------------------------------------------------------
@@ -155,15 +157,60 @@ class SMCore(Component):
     def tick(self, now: int) -> None:
         if now < self._launch_at:
             return
-        self._drain_replies(now)
-        for request in self._hit_returns.pop_ready(now):
-            request.complete(now)
-            self.loads_completed += 1
-        self._drain_out()
-        self._access_l1(now)
+        if self._replies._items:
+            self._drain_replies(now)
+        hit_returns = self._hit_returns
+        if hit_returns._items:
+            for request in hit_returns.pop_ready(now):
+                request.complete(now)
+                self.loads_completed += 1
+        if self._out._items:
+            self._drain_out()
+        if self._lsu:
+            self._access_l1(now)
         self._issue(now)
         if now % CTA_REFILL_PERIOD == 0:
             self._refill_ctas()
+
+    # -- activity contract ---------------------------------------------
+
+    def idle(self, now: int) -> bool:
+        """Nothing can happen until a reply arrives or a kernel starts.
+
+        The SM may only sleep when every internal time-driven path is
+        exhausted: no queued requests or replies, no pending L1 hit
+        returns, no warp that could become ready on its own (a warp
+        waiting out a compute latency self-advances, so it blocks
+        sleep), and the periodic CTA refill could neither retire nor
+        launch anything. Skipped cycles still count as stall/idle
+        cycles -- reproduced exactly in :meth:`on_skipped`.
+        """
+        if now < self._launch_at:
+            return False  # must observe its staggered launch cycle
+        if (self._lsu or self._replies._items or self._out._items
+                or self._hit_returns._items):
+            return False
+        for scheduler in self.schedulers:
+            for warp in scheduler._warps:
+                if (not warp.done and not warp.at_barrier
+                        and warp.outstanding == 0):
+                    return False  # ready now or after a compute delay
+        ctas = self._active_ctas
+        for cta in ctas:
+            if cta.finished:
+                return False  # the next refill scan would retire it
+        source = self._cta_source
+        if (source is not None and len(ctas) < self._max_ctas
+                and source.remaining(self.sm_id)):
+            return False  # the next refill scan would launch a CTA
+        return True
+
+    def on_skipped(self, cycles: int) -> None:
+        """A blocked SM counts stall (and per-scheduler idle) cycles
+        every strict-mode tick; reproduce them for skipped ticks."""
+        self.stall_cycles += cycles
+        for scheduler in self.schedulers:
+            scheduler.idle_cycles += cycles
 
     def _drain_replies(self, now: int) -> None:
         while self._replies:

@@ -16,6 +16,9 @@ from repro.sm.warp import Warp
 class GTOScheduler:
     """One GTO scheduler instance managing a subset of an SM's warps."""
 
+    __slots__ = ("scheduler_id", "_warps", "_greedy", "issues",
+                 "idle_cycles")
+
     def __init__(self, scheduler_id: int = 0) -> None:
         self.scheduler_id = scheduler_id
         #: Warps in age order (index 0 = oldest).
@@ -44,12 +47,16 @@ class GTOScheduler:
 
     def pick(self, now: int) -> Optional[Warp]:
         """Select the warp to issue from this cycle, or None."""
+        # Readiness checks are inlined (= Warp.is_ready) -- this runs for
+        # every scheduler on every awake SM tick.
         greedy = self._greedy
-        if greedy is not None and not greedy.done and greedy.is_ready(now):
+        if (greedy is not None and not greedy.done and not greedy.at_barrier
+                and greedy.outstanding == 0 and greedy.ready_at <= now):
             self.issues += 1
             return greedy
         for warp in self._warps:
-            if warp.is_ready(now):
+            if (not warp.done and not warp.at_barrier
+                    and warp.outstanding == 0 and warp.ready_at <= now):
                 self._greedy = warp
                 self.issues += 1
                 return warp

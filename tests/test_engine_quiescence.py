@@ -1,0 +1,237 @@
+"""Strict-vs-quiescent engine equivalence (docs/PERFORMANCE.md).
+
+The quiescence-aware engine skips components that declare themselves
+idle and fast-forwards fully quiescent stretches. Its correctness bar
+is *bit-identical* results: for every architecture the figure catalog
+exercises, a default run must produce field-identical statistics and
+identical trace event streams compared to ``Simulator(strict=True)``,
+which ticks every component every cycle.
+
+``repro.sim.request`` hands out request ids from a process-global
+counter, so each measured run resets it -- otherwise the second run's
+ids (embedded in trace event args) differ for bookkeeping reasons that
+have nothing to do with engine behaviour.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import asdict
+
+import pytest
+
+import repro.sim.request as request_mod
+from repro.config.presets import small_config
+from repro.config.topology import (
+    Architecture,
+    PagePolicy,
+    ReplicationPolicy,
+)
+from repro.experiments.runner import ExperimentRunner, RunKey
+from repro.obs import TickProfiler, Tracer
+from repro.sim.engine import Component, Simulator
+from repro.workloads.suite import get_benchmark
+
+#: Catalog's smallest points: a 2-channel GPU keeps each run fast while
+#: exercising every queue, link and policy the full config uses.
+CHANNELS = 2
+
+CONFIGS = [
+    pytest.param(
+        RunKey("KMEANS", Architecture.MEM_SIDE_UBA,
+               page_policy=PagePolicy.FIRST_TOUCH),
+        id="kmeans-mem-side-uba",
+    ),
+    pytest.param(
+        RunKey("KMEANS", Architecture.SM_SIDE_UBA,
+               page_policy=PagePolicy.FIRST_TOUCH),
+        id="kmeans-sm-side-uba",
+    ),
+    pytest.param(
+        RunKey("KMEANS", Architecture.NUBA,
+               replication=ReplicationPolicy.NONE),
+        id="kmeans-nuba-norep",
+    ),
+    pytest.param(
+        RunKey("KMEANS", Architecture.NUBA,
+               replication=ReplicationPolicy.MDR),
+        id="kmeans-nuba-mdr",
+    ),
+    pytest.param(
+        RunKey("AN", Architecture.NUBA,
+               replication=ReplicationPolicy.MDR),
+        id="an-nuba-mdr",
+    ),
+]
+
+
+def _run(key: RunKey, strict: bool, trace: bool = True,
+         profile: bool = False):
+    """One measured run; returns (result dict, stats dict, events,
+    final cycle, skipped ticks, profiler-or-None)."""
+    request_mod._req_ids = itertools.count()
+    runner = ExperimentRunner(
+        base_gpu=small_config(num_channels=CHANNELS), strict=strict,
+    )
+    system = runner.build(key)
+    tracer = Tracer.attach(system) if trace else None
+    profiler = TickProfiler.attach(system.sim) if profile else None
+    workload = get_benchmark(key.benchmark).instantiate(system.gpu)
+    result = system.run_workload(workload, max_cycles=runner.max_cycles)
+    events = (
+        [(e.name, e.cat, e.track, e.cycle, e.dur, tuple(sorted(e.args.items())))
+         for e in tracer.events]
+        if tracer is not None else None
+    )
+    return (
+        asdict(result),
+        system.stats_snapshot().as_dict(),
+        events,
+        system.sim.cycle,
+        system.sim.skipped_ticks,
+        profiler,
+    )
+
+
+@pytest.mark.parametrize("key", CONFIGS)
+def test_quiescent_run_is_bit_identical_to_strict(key: RunKey) -> None:
+    s_result, s_stats, s_events, s_cycle, _, _ = _run(key, strict=True)
+    q_result, q_stats, q_events, q_cycle, skipped, _ = _run(
+        key, strict=False,
+    )
+    assert q_cycle == s_cycle
+    assert q_result == s_result
+    assert q_stats == s_stats
+    assert len(q_events) == len(s_events)
+    assert q_events == s_events
+    # The engine must actually have skipped work, or this test proves
+    # nothing about the quiescence path.
+    assert skipped > 0
+
+
+def test_untraced_runs_match_too() -> None:
+    """Tracing swaps NULL_TRACER guards for live ones; make sure the
+    equivalence doesn't depend on that instrumentation being present."""
+    key = CONFIGS[0].values[0]
+    s_result, s_stats, _, s_cycle, _, _ = _run(key, strict=True,
+                                               trace=False)
+    q_result, q_stats, _, q_cycle, _, _ = _run(key, strict=False,
+                                               trace=False)
+    assert (q_cycle, q_result, q_stats) == (s_cycle, s_result, s_stats)
+
+
+def test_profiled_run_still_skips_and_matches() -> None:
+    """TickProfiler proxies must honor the activity contract: wrapped
+    components still sleep (the proxies count the elided ticks) and the
+    profiled run stays bit-identical to strict."""
+    key = CONFIGS[0].values[0]
+    s_result, s_stats, s_events, s_cycle, _, _ = _run(key, strict=True)
+    q_result, q_stats, q_events, q_cycle, _, profiler = _run(
+        key, strict=False, profile=True,
+    )
+    assert (q_cycle, q_result, q_stats) == (s_cycle, s_result, s_stats)
+    assert q_events == s_events
+    skipped = sum(proxy.skipped for proxy in profiler._proxies)
+    assert skipped > 0
+    assert "skipped by quiescence" in profiler.report()
+
+
+# ----------------------------------------------------------------------
+# Engine-level unit tests (no GPU system required).
+# ----------------------------------------------------------------------
+
+
+class _Ticker(Component):
+    """Never idles; counts its ticks."""
+
+    def __init__(self) -> None:
+        super().__init__("ticker")
+        self.ticks = 0
+
+    def tick(self, now: int) -> None:
+        self.ticks += 1
+
+
+class _Sleeper(Component):
+    """Idles immediately; reproduces a per-cycle counter via
+    ``on_skipped`` (the SM stall-cycle pattern)."""
+
+    def __init__(self) -> None:
+        super().__init__("sleeper")
+        self.cycles_seen = 0
+
+    def tick(self, now: int) -> None:
+        self.cycles_seen += 1
+
+    def idle(self, now: int) -> bool:
+        return True
+
+    def on_skipped(self, cycles: int) -> None:
+        self.cycles_seen += cycles
+
+
+@pytest.mark.parametrize("strict", [True, False])
+def test_run_until_never_overshoots_max_cycles(strict: bool) -> None:
+    """Regression: the final chunk is clamped, so a max_cycles that is
+    not a multiple of check_period stops exactly at the deadline."""
+    sim = Simulator(strict=strict)
+    ticker = sim.add(_Ticker())
+    finished = sim.run_until(lambda: False, max_cycles=100,
+                             check_period=64)
+    assert finished is False
+    assert sim.cycle == 100
+    if strict:
+        assert ticker.ticks == 100
+
+
+@pytest.mark.parametrize("strict", [True, False])
+def test_run_until_evaluates_done_at_the_same_cycles(strict) -> None:
+    """Fast-forwarding lands on exactly the chunk boundaries strict
+    mode polls at, so ``done`` observes the same cycle sequence."""
+    sim = Simulator(strict=strict)
+    sim.add(_Sleeper())
+    polled = []
+
+    def done() -> bool:
+        polled.append(sim.cycle)
+        return False
+
+    sim.run_until(done, max_cycles=200, check_period=64)
+    assert polled == [64, 128, 192, 200, 200]
+
+
+def test_fast_forward_jumps_idle_stretches_and_fires_hooks() -> None:
+    sim = Simulator()
+    sleeper = sim.add(_Sleeper())
+    fired = []
+    sim.every(1000, fired.append)
+    sim.run(5000)
+    assert sim.cycle == 5000
+    assert fired == [1000, 2000, 3000, 4000, 5000]
+    # One real tick, the rest skipped -- but the counter is exact.
+    assert sleeper.cycles_seen == 5000
+    assert sim.fast_forwarded_cycles >= 4990
+    assert sim.skipped_ticks == 4999
+
+
+def test_wake_reactivates_a_sleeping_component() -> None:
+    sim = Simulator()
+    sleeper = sim.add(_Sleeper())
+    sim.run(10)
+    assert sleeper._awake is False
+    sleeper.wake()
+    assert sim._n_asleep == 0
+    before = sleeper.cycles_seen
+    sim.step()
+    sim.sync()
+    # The woken component really ticked (tick, not on_skipped, ran).
+    assert sleeper.cycles_seen == before + 1
+
+
+def test_strict_mode_never_skips() -> None:
+    sim = Simulator(strict=True)
+    sleeper = sim.add(_Sleeper())
+    sim.run(500)
+    assert sleeper.cycles_seen == 500
+    assert sim.skipped_ticks == 0
+    assert sim.fast_forwarded_cycles == 0
