@@ -24,7 +24,11 @@ from repro.cache.sram import CacheArray
 from repro.config.gpu import CacheConfig
 from repro.sim.engine import Component
 from repro.sim.queues import BoundedQueue, DelayLine
-from repro.sim.request import AccessKind, MemoryRequest
+from repro.sim.request import (
+    AccessKind,
+    MemoryRequest,
+    release as release_request,
+)
 
 #: Sink callbacks return False when the downstream structure is full.
 Sink = Callable[[MemoryRequest], bool]
@@ -90,28 +94,55 @@ class LLCSlice(Component):
 
     def accept_local(self, request: MemoryRequest) -> bool:
         """Enqueue a request arriving over the partition link (LMR)."""
-        self.wake()
-        return self.lmr.push(request)
+        if not self._awake:
+            self.wake()
+        # BoundedQueue.push inlined (one call per delivered request).
+        queue = self.lmr
+        items = queue._items
+        occupancy = len(items)
+        if occupancy >= queue.capacity:
+            return False
+        items.append(request)
+        queue.total_pushed += 1
+        occupancy += 1
+        if occupancy > queue.peak_occupancy:
+            queue.peak_occupancy = occupancy
+        return True
 
     def accept_remote(self, request: MemoryRequest) -> bool:
         """Enqueue a request arriving over the NoC (RMR)."""
-        self.wake()
-        return self.rmr.push(request)
+        if not self._awake:
+            self.wake()
+        # BoundedQueue.push inlined (one call per delivered request).
+        queue = self.rmr
+        items = queue._items
+        occupancy = len(items)
+        if occupancy >= queue.capacity:
+            return False
+        items.append(request)
+        queue.total_pushed += 1
+        occupancy += 1
+        if occupancy > queue.peak_occupancy:
+            queue.peak_occupancy = occupancy
+        return True
 
     def fill(self, request: MemoryRequest) -> bool:
         """Data returned from memory (or a remote home slice for replica
         misses); releases MSHR waiters when processed."""
-        self.wake()
+        if not self._awake:
+            self.wake()
         return self.fill_queue.push((self._FILL, request))
 
     def fill_replica(self, line_addr: int) -> bool:
         """Install a read-only replica without waiters (MDR, Section 5.2)."""
-        self.wake()
+        if not self._awake:
+            self.wake()
         return self.fill_queue.push((self._REPLICA, line_addr))
 
     def invalidate(self, line_addr: int) -> bool:
         """Coherence invalidation (SM-side UBA cross-partition stores)."""
-        self.wake()
+        if not self._awake:
+            self.wake()
         return self.fill_queue.push((self._INVAL, line_addr))
 
     def flush(self) -> list:
@@ -128,13 +159,33 @@ class LLCSlice(Component):
     # Per-cycle work.
     # ------------------------------------------------------------------
 
-    def tick(self, now: int) -> None:
-        if self._retry_replies or self._retry_misses:
+    def tick(self, now: int) -> bool:
+        # The deque objects are stable (mutated in place), so the
+        # hoisted locals stay valid across the drain/arbitrate calls
+        # and the idle verdict reads them instead of re-walking the
+        # attribute chains.
+        retry_replies = self._retry_replies
+        retry_misses = self._retry_misses
+        if retry_replies or retry_misses:
             self._drain_retries()
-        if self._pipeline._items:
+        pipeline = self._pipeline._items
+        if pipeline and pipeline[0][0] <= now:
             self._deliver_pipeline(now)
-        if self.fill_queue._items or self.lmr._items or self.rmr._items:
+        fill_items = self.fill_queue._items
+        lmr_items = self.lmr._items
+        rmr_items = self.rmr._items
+        if fill_items or lmr_items or rmr_items:
             self._arbitrate(now)
+        # Idle verdict from end-of-tick state (== self.idle(now)); the
+        # engine skips the separate idle() call when tick returns one.
+        return not (
+            lmr_items
+            or rmr_items
+            or fill_items
+            or pipeline
+            or retry_replies
+            or retry_misses
+        )
 
     # -- activity contract ---------------------------------------------
 
@@ -184,7 +235,7 @@ class LLCSlice(Component):
 
     def _arbitrate(self, now: int) -> None:
         """Issue at most one operation to the tag/data array per cycle."""
-        if self.fill_queue:
+        if self.fill_queue._items:
             self.port_cycles += 1
             self._process_fill_op(now)
             return
@@ -198,13 +249,13 @@ class LLCSlice(Component):
     def _pick_queue(self) -> Optional[BoundedQueue]:
         """Round-robin between LMR and RMR (Figure 5, step 4)."""
         lmr, rmr = self.lmr, self.rmr
-        if lmr and rmr:
-            pick = self.lmr if self._rr_pick_local else self.rmr
-            self._rr_pick_local = not self._rr_pick_local
-            return pick
-        if lmr:
+        if lmr._items:
+            if rmr._items:
+                pick = lmr if self._rr_pick_local else rmr
+                self._rr_pick_local = not self._rr_pick_local
+                return pick
             return lmr
-        if rmr:
+        if rmr._items:
             return rmr
         return None
 
@@ -215,18 +266,20 @@ class LLCSlice(Component):
     def _process_request(
         self, request: MemoryRequest, now: int, source: BoundedQueue
     ) -> None:
-        if request.src_partition == self._partition_hint(request):
+        # == self._partition_hint(request), inlined on the hot path.
+        if request.src_partition == request.home_partition:
             self.local_accesses += 1
         else:
             self.remote_accesses += 1
 
-        if request.kind is AccessKind.STORE:
+        kind = request.kind
+        if kind is AccessKind.STORE:
             self._process_store(request, now)
             return
 
         # Atomics execute at the slice's raster-operation units
         # (Section 5.3): they behave like loads that dirty the line.
-        is_atomic = request.kind is AccessKind.ATOMIC
+        is_atomic = kind is AccessKind.ATOMIC
         if self.array.lookup(request.line_addr, mark_dirty=is_atomic):
             self.hits += 1
             if request.is_replica_access:
@@ -266,6 +319,8 @@ class LLCSlice(Component):
             self._handle_victim(victim)
         request.hit_level = "llc"
         request.complete(now)
+        # Stores retire here (write-validate, no reply): recycle.
+        release_request(request)
 
     def _process_fill_op(self, now: int) -> None:
         kind, payload = self.fill_queue.pop()

@@ -49,18 +49,21 @@ class MSHRFile:
 
     def allocate(self, request: MemoryRequest) -> MSHROutcome:
         """Track a missing request; see :class:`MSHROutcome`."""
-        waiters = self._pending.get(request.line_addr)
+        pending = self._pending
+        waiters = pending.get(request.line_addr)
         if waiters is not None:
             waiters.append(request)
             self.merges += 1
             return MSHROutcome.MERGED
-        if self.full:
+        occupancy = len(pending)
+        if occupancy >= self.entries:
             self.stalls += 1
             return MSHROutcome.FULL
-        self._pending[request.line_addr] = [request]
+        pending[request.line_addr] = [request]
         self.allocations += 1
-        if len(self._pending) > self.peak_occupancy:
-            self.peak_occupancy = len(self._pending)
+        occupancy += 1
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
         return MSHROutcome.ALLOCATED
 
     def release(self, line_addr: int) -> List[MemoryRequest]:

@@ -109,8 +109,9 @@ class SetSampler:
             else:
                 self._remote_other += 1
 
-        in_sample = self._in_sample(line_addr)
-        if not in_sample:
+        # == self._in_sample(line_addr), inlined: observe runs for every
+        # routed NUBA request and most lines fall outside the sample.
+        if (line_addr % self.slice_sets) not in self._sampled:
             return
 
         # No-replication shadow: the demand stream of the home slice.

@@ -47,7 +47,9 @@ class CacheArray:
 
     def lookup(self, line_addr: int, mark_dirty: bool = False) -> bool:
         """Return True on hit; updates LRU order (and the dirty bit)."""
-        line_set = self._sets[self.set_index(line_addr)]
+        # set_index is inlined here and below: lookup/install run for
+        # every L1 and LLC access.
+        line_set = self._sets[line_addr % self.sets]
         if line_addr in line_set:
             line_set.move_to_end(line_addr)
             if mark_dirty:
@@ -59,7 +61,7 @@ class CacheArray:
 
     def probe(self, line_addr: int) -> bool:
         """Check presence without touching LRU order or statistics."""
-        return line_addr in self._sets[self.set_index(line_addr)]
+        return line_addr in self._sets[line_addr % self.sets]
 
     def install(self, line_addr: int, dirty: bool = False) -> Optional[EvictedLine]:
         """Install a line as MRU; returns the evicted victim, if any.
@@ -67,7 +69,7 @@ class CacheArray:
         Installing a line that is already present refreshes its LRU
         position and ORs in the dirty bit.
         """
-        line_set = self._sets[self.set_index(line_addr)]
+        line_set = self._sets[line_addr % self.sets]
         if line_addr in line_set:
             line_set[line_addr] = line_set[line_addr] or dirty
             line_set.move_to_end(line_addr)
@@ -82,7 +84,7 @@ class CacheArray:
 
     def invalidate(self, line_addr: int) -> bool:
         """Drop a line (coherence invalidation); returns True if present."""
-        line_set = self._sets[self.set_index(line_addr)]
+        line_set = self._sets[line_addr % self.sets]
         if line_addr in line_set:
             del line_set[line_addr]
             return True

@@ -200,6 +200,13 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--strict", action="store_true",
                        help="disable quiescence skipping (A/B runs; "
                             "compared only against a strict baseline)")
+    bench.add_argument("--profile", action="store_true",
+                       help="also cProfile one run per measured point "
+                            "and write the top functions next to the "
+                            "result JSON (<out>_profile.txt)")
+    bench.add_argument("--profile-top", type=int, default=25,
+                       help="functions per point in the profile "
+                            "artifact (default 25)")
 
     report = sub.add_parser(
         "report",
@@ -486,6 +493,17 @@ def _cmd_bench_perf(args) -> int:
     ))
     benchperf.write_report(args.out, payload)
     print(f"wrote {args.out}")
+    if args.profile:
+        keys = benchperf.QUICK_MATRIX if args.quick else benchperf.MATRIX
+        print("bench-perf: profiling ...", file=sys.stderr)
+        artifact = benchperf.profile_matrix(
+            keys, top=args.profile_top, strict=args.strict,
+        )
+        root, _ = os.path.splitext(args.out)
+        profile_path = f"{root}_profile.txt"
+        with open(profile_path, "w") as handle:
+            handle.write(artifact)
+        print(f"wrote {profile_path}")
     if args.update_baseline:
         benchperf.write_report(args.baseline, payload)
         print(f"updated baseline {args.baseline}")

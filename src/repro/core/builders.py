@@ -18,7 +18,12 @@ from repro.core.system import GPUSystem
 from repro.noc.crossbar import Crossbar
 from repro.noc.p2p import PartitionLinks
 from repro.noc.power import CrossbarPowerModel
-from repro.sim.request import AccessKind, MemoryRequest
+from repro.sim.request import (
+    _KIND_REPLY_BYTES,
+    _KIND_REQUEST_BYTES,
+    AccessKind,
+    MemoryRequest,
+)
 
 
 class MemSideUBASystem(GPUSystem):
@@ -78,7 +83,7 @@ class MemSideUBASystem(GPUSystem):
             request.is_reply = True
             return self.noc.inject(
                 port, self._sm_port(request.sm_id), request,
-                request.reply_bytes,
+                _KIND_REPLY_BYTES[request.kind],
             )
 
         return sink
@@ -98,7 +103,7 @@ class MemSideUBASystem(GPUSystem):
             self._sm_port(request.sm_id),
             self._slice_port(request.home_slice),
             request,
-            request.request_bytes,
+            _KIND_REQUEST_BYTES[request.kind],
         )
 
     def _interconnect_pending(self) -> int:
@@ -220,7 +225,7 @@ class SMSideUBASystem(GPUSystem):
         def sink(request: MemoryRequest) -> bool:
             request.is_reply = True
             local_sm = request.sm_id % self.sms_per_side
-            return xbar.inject(port, local_sm, request, request.reply_bytes)
+            return xbar.inject(port, local_sm, request, _KIND_REPLY_BYTES[request.kind])
 
         return sink
 
@@ -231,7 +236,7 @@ class SMSideUBASystem(GPUSystem):
                 slice_id,
                 self.gpu.num_llc_slices + request.home_channel,
                 request,
-                request.request_bytes,
+                _KIND_REQUEST_BYTES[request.kind],
             )
 
         return sink
@@ -273,7 +278,7 @@ class SMSideUBASystem(GPUSystem):
             self.gpu.num_llc_slices + request.home_channel,
             request.owner_slice,
             request,
-            request.reply_bytes,
+            _KIND_REPLY_BYTES[request.kind],
         )
 
     # -- routing -------------------------------------------------------
@@ -289,7 +294,7 @@ class SMSideUBASystem(GPUSystem):
             request.sm_id % self.sms_per_side,
             self.sms_per_side + dest_slice % self.slices_per_side,
             request,
-            request.request_bytes,
+            _KIND_REQUEST_BYTES[request.kind],
         )
 
     def _invalidate_other_sides(self, line_addr: int, origin_side: int) -> None:
@@ -412,7 +417,7 @@ class NUBASystem(GPUSystem):
             src_port = self._partition_port(partition, request.home_slice)
             return self.noc.inject(
                 src_port, self._slice_port(request.home_slice),
-                request, request.request_bytes,
+                request, _KIND_REQUEST_BYTES[request.kind],
             )
 
         return sink
@@ -441,7 +446,7 @@ class NUBASystem(GPUSystem):
             )
             return self.noc.inject(
                 self._slice_port(slice_id), dest, request,
-                request.reply_bytes,
+                _KIND_REPLY_BYTES[request.kind],
             )
 
         return sink
@@ -462,7 +467,7 @@ class NUBASystem(GPUSystem):
             return self.noc.inject(
                 self._slice_port(slice_id),
                 self._slice_port(request.home_slice),
-                request, request.request_bytes,
+                request, _KIND_REQUEST_BYTES[request.kind],
             )
 
         return sink

@@ -120,6 +120,11 @@ class GPUSystem:
             )
         else:
             self.driver = GpuDriver(gpu, self.address_map, allocator)
+        #: Hoisted ``isinstance`` check for the per-request store hook.
+        self._replication_driver: Optional[PageReplicationDriver] = (
+            self.driver
+            if isinstance(self.driver, PageReplicationDriver) else None
+        )
 
         # Memory controllers.
         self.mcs: List[MemoryController] = [
@@ -222,17 +227,20 @@ class GPUSystem:
 
     def _prepare_request(self, request: MemoryRequest) -> None:
         """Fill in routing metadata and update driver-side tracking."""
-        line = request.line_addr
-        request.home_channel = self.address_map.channel_of_line(line)
-        request.home_slice = self.address_map.slice_of_line(line)
-        request.home_partition = request.home_channel
-        request.src_partition = self.partition_of_sm(request.sm_id)
+        channel, home_slice = self.address_map.route_of_line(
+            request.line_addr
+        )
+        request.home_channel = channel
+        request.home_slice = home_slice
+        request.home_partition = channel
+        request.src_partition = request.sm_id // self._sms_per_partition
         if request.vpage is not None:
             self.driver.note_access(request.vpage, request.sm_id)
-            if request.kind.is_write and isinstance(
-                self.driver, PageReplicationDriver
-            ):
-                self.driver.note_store(request.vpage)
+            if self._replication_driver is not None:
+                kind = request.kind
+                # == kind.is_write, without the enum-property call.
+                if kind is AccessKind.STORE or kind is AccessKind.ATOMIC:
+                    self._replication_driver.note_store(request.vpage)
 
     def _sm_request_sink(self, request: MemoryRequest) -> bool:
         self._prepare_request(request)

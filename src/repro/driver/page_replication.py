@@ -58,6 +58,10 @@ class PageReplicationDriver(GpuDriver):
     def translation_key(self, vpage: int, sm_id: int) -> int:
         return vpage * self.gpu.num_partitions + self._partition_of(sm_id)
 
+    def translation_key_params(self, sm_id: int):
+        """Affine form of :meth:`translation_key` (see the base class)."""
+        return (self.gpu.num_partitions, self._partition_of(sm_id))
+
     @property
     def translation_generation(self) -> int:
         return self.page_table.generation + self._extra_generation

@@ -32,26 +32,41 @@ from repro.config.topology import Architecture, PagePolicy, ReplicationPolicy
 from repro.experiments.runner import ExperimentRunner, RunKey
 from repro.workloads.suite import get_benchmark
 
-#: The fixed measurement matrix: UBA/NUBA x two benchmarks (one
-#: low-sharing streaming workload, one high-sharing DNN workload).
+#: The fixed measurement matrix: two benchmarks (one low-sharing
+#: streaming workload, one high-sharing DNN workload) x three
+#: architecture points -- UBA (long quiescent drain phases), plain
+#: saturated NUBA (busy-path floor without replication machinery) and
+#: NUBA+MDR (busy path plus the sampler/epoch machinery).  The two
+#: saturated NUBA columns are what the fast-lane optimisations
+#: (docs/PERFORMANCE.md, "Busy path") are measured against.
 MATRIX: Tuple[RunKey, ...] = (
     RunKey("KMEANS", Architecture.MEM_SIDE_UBA,
            page_policy=PagePolicy.FIRST_TOUCH),
+    RunKey("KMEANS", Architecture.NUBA),
     RunKey("KMEANS", Architecture.NUBA,
            replication=ReplicationPolicy.MDR),
     RunKey("AN", Architecture.MEM_SIDE_UBA,
            page_policy=PagePolicy.FIRST_TOUCH),
+    RunKey("AN", Architecture.NUBA),
     RunKey("AN", Architecture.NUBA,
            replication=ReplicationPolicy.MDR),
 )
 
-#: ``--quick`` subset for CI: one UBA and one NUBA point.
-QUICK_MATRIX: Tuple[RunKey, ...] = (MATRIX[0], MATRIX[1])
+#: ``--quick`` subset for CI: one UBA and one saturated NUBA+MDR point.
+QUICK_MATRIX: Tuple[RunKey, ...] = (MATRIX[0], MATRIX[2])
 
 
 def point_id(key: RunKey) -> str:
-    """Stable identifier for a matrix point (JSON key)."""
-    return f"{key.benchmark}/{key.architecture.value}"
+    """Stable identifier for a matrix point (JSON key).
+
+    The replication policy is appended when it deviates from the
+    default so the plain-NUBA and NUBA+MDR columns stay distinct
+    (``AN/nuba`` vs ``AN/nuba+mdr``).
+    """
+    base = f"{key.benchmark}/{key.architecture.value}"
+    if key.replication is not ReplicationPolicy.NONE:
+        return f"{base}+{key.replication.value}"
+    return base
 
 
 def measure_point(key: RunKey, repeats: int = 3,
@@ -106,6 +121,38 @@ def run_matrix(quick: bool = False, repeats: Optional[int] = None,
         },
         "points": points,
     }
+
+
+def profile_matrix(keys: Optional[Tuple[RunKey, ...]] = None,
+                   top: int = 25, strict: bool = False) -> str:
+    """Profile one simulated run per matrix point with :mod:`cProfile`.
+
+    Returns a text artifact: for each point, the ``top`` functions by
+    internal time.  Written next to the benchmark report by
+    ``repro bench-perf --profile`` so a CI run preserves *where* the
+    cycles went, not just how many per second -- regressions in the
+    >30% gate can then be triaged from the uploaded artifact alone.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    if keys is None:
+        keys = MATRIX
+    sections: List[str] = []
+    for key in keys:
+        runner = ExperimentRunner(strict=strict)
+        system = runner.build(key)
+        workload = get_benchmark(key.benchmark).instantiate(system.gpu)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        system.run_workload(workload, max_cycles=runner.max_cycles)
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("tottime").print_stats(top)
+        sections.append(f"=== {point_id(key)} ===\n{buffer.getvalue()}")
+    return "\n".join(sections)
 
 
 def write_report(path: str, payload: Dict[str, object]) -> None:

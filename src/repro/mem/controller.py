@@ -13,14 +13,18 @@ completed demand requests back toward the owning LLC slice.
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Callable, Deque, Optional, Tuple
 
 from repro.config.gpu import MemoryConfig
 from repro.mem.dram import Bank, CoreClockTimings
 from repro.sim.engine import Component
-from repro.sim.request import AccessKind, MemoryRequest
+from repro.sim.request import (
+    AccessKind,
+    MemoryRequest,
+    acquire as acquire_request,
+    release as release_request,
+)
 
 #: FR-FCFS scheduling window: how deep into the queue the scheduler looks
 #: for a row hit each cycle (hardware schedulers use a similar CAM width).
@@ -50,11 +54,14 @@ class MemoryController(Component):
         self.fill_sink = fill_sink
         self.queue_capacity = config.queue_entries
         self._queue: Deque[Tuple[MemoryRequest, int, int]] = deque()
-        self._completions: List[Tuple[int, int, Optional[MemoryRequest]]] = []
+        #: Completions ordered by finish cycle. The data bus serialises
+        #: every line (``done_at`` equals the advancing bus reservation),
+        #: so completions are appended in strictly increasing order and a
+        #: deque replaces the former heap.
+        self._completions: Deque[Tuple[int, Optional[MemoryRequest]]] = deque()
         self._retry_fills: Deque[MemoryRequest] = deque()
         self._bus_free_at = 0
         self._line_cycles = config.line_transfer_cycles
-        self._seq = 0
 
         # Statistics.
         self.reads = 0
@@ -74,7 +81,8 @@ class MemoryController(Component):
         """Accept a demand request or writeback; False when full."""
         if len(self._queue) >= self.queue_capacity:
             return False
-        self.wake()
+        if not self._awake:
+            self.wake()
         line = request.line_addr
         self._queue.append((request, self.bank_of(line), self.row_of(line)))
         return True
@@ -85,8 +93,9 @@ class MemoryController(Component):
         Writebacks must not be dropped, so they are accepted even when the
         queue is nominally full (real controllers reserve writeback slots).
         """
-        self.wake()
-        request = MemoryRequest(AccessKind.STORE, line_addr, sm_id=-1)
+        if not self._awake:
+            self.wake()
+        request = acquire_request(AccessKind.STORE, line_addr, sm_id=-1)
         self._queue.append(
             (request, self.bank_of(line_addr), self.row_of(line_addr))
         )
@@ -100,7 +109,7 @@ class MemoryController(Component):
     # Per-cycle work.
     # ------------------------------------------------------------------
 
-    def tick(self, now: int) -> None:
+    def tick(self, now: int) -> bool:
         if self._retry_fills or self._completions:
             self._deliver(now)
         # One command per cycle; bank accesses overlap (bank-level
@@ -108,6 +117,8 @@ class MemoryController(Component):
         # transfers via the bus reservation in _schedule.
         if self._queue:
             self._schedule(now)
+        # Idle verdict from end-of-tick state (== self.idle(now)).
+        return not (self._queue or self._completions or self._retry_fills)
 
     # -- activity contract ---------------------------------------------
 
@@ -126,35 +137,45 @@ class MemoryController(Component):
             if not self.fill_sink(self._retry_fills[0]):
                 return
             self._retry_fills.popleft()
-        while self._completions and self._completions[0][0] <= now:
-            _, _, request = heapq.heappop(self._completions)
+        completions = self._completions
+        while completions and completions[0][0] <= now:
+            request = completions.popleft()[1]
             if request is None:
                 continue  # writeback: no reply
             if not self.fill_sink(request):
                 self._retry_fills.append(request)
 
     def _schedule(self, now: int) -> None:
-        """Issue one request per cycle following FR-FCFS."""
+        """Issue one request per cycle following FR-FCFS.
+
+        The window scan inlines ``Bank.ready``/``Bank.is_row_hit``
+        (attribute compares) -- it runs every cycle a channel has
+        queued work and the per-entry call overhead dominated the
+        controller's profile.
+        """
+        queue = self._queue
+        banks = self.banks
         picked_index = -1
         fallback_index = -1
-        for index, (request, bank_id, row) in enumerate(self._queue):
+        index = 0
+        for entry in queue:
             if index >= SCHED_WINDOW:
                 break
-            bank = self.banks[bank_id]
-            if not bank.ready(now):
-                continue
-            if bank.is_row_hit(row):
-                picked_index = index
-                break
-            if fallback_index < 0:
-                fallback_index = index
+            bank = banks[entry[1]]
+            if bank.busy_until <= now:
+                if bank.open_row == entry[2]:
+                    picked_index = index
+                    break
+                if fallback_index < 0:
+                    fallback_index = index
+            index += 1
         if picked_index < 0:
             picked_index = fallback_index
         if picked_index < 0:
             return
 
-        request, bank_id, row = self._queue[picked_index]
-        del self._queue[picked_index]
+        request, bank_id, row = queue[picked_index]
+        del queue[picked_index]
         bank = self.banks[bank_id]
         is_write = request.kind is AccessKind.STORE
         row_hit = bank.is_row_hit(row)
@@ -173,11 +194,13 @@ class MemoryController(Component):
         if is_write:
             self.writes += 1
             completion = None
+            if request.sm_id == -1:
+                # Writeback scheduled; nothing references it any more.
+                release_request(request)
         else:
             self.reads += 1
             completion = request
-        self._seq += 1
-        heapq.heappush(self._completions, (done_at, self._seq, completion))
+        self._completions.append((done_at, completion))
 
     # ------------------------------------------------------------------
     # Statistics.

@@ -81,7 +81,8 @@ class Crossbar(Component):
         if not queue:
             self._active.append(src_port)
         queue.append((item, size_bytes, dest_port))
-        self.wake()
+        if not self._awake:
+            self.wake()
         return True
 
     def input_occupancy(self, port: int) -> int:
@@ -98,11 +99,13 @@ class Crossbar(Component):
     # Per-cycle work.
     # ------------------------------------------------------------------
 
-    def tick(self, now: int) -> None:
+    def tick(self, now: int) -> bool:
         if self._arrivals:
             self._deliver(now)
         if self._active:
             self._transfer(now)
+        # Idle verdict from end-of-tick state (== self.idle(now)).
+        return not self._arrivals and not self._active
 
     # -- activity contract ---------------------------------------------
 

@@ -93,8 +93,15 @@ class Component:
         #: lookups on those instances.
         self.tracer = NULL_TRACER
 
-    def tick(self, now: int) -> None:
-        """Advance this component by one cycle."""
+    def tick(self, now: int) -> object:
+        """Advance this component by one cycle.
+
+        May return the :meth:`idle` verdict for this cycle (``True`` /
+        ``False``) to spare the engine the separate ``idle`` call --
+        hot components compute it from locals they already hold at the
+        end of their tick.  Returning ``None`` (the default) makes the
+        engine call :meth:`idle` as usual; the two forms must agree.
+        """
         raise NotImplementedError
 
     # -- activity contract --------------------------------------------
@@ -208,6 +215,7 @@ class Simulator:
             for component in self.components:
                 component.tick(now)
         else:
+            n_slept = 0
             for component in self.components:
                 if component._awake:
                     since = component._idle_since
@@ -216,12 +224,16 @@ class Simulator:
                             self.skipped_ticks += now - since
                             component.on_skipped(now - since)
                         component._idle_since = -1
-                    component.tick(now)
-                    if component.idle(now):
+                    asleep = component.tick(now)
+                    if asleep is None:
+                        asleep = component.idle(now)
+                    if asleep:
                         component._awake = False
                         component._idle_since = now + 1
                         component.on_sleep(now)
-                        self._n_asleep += 1
+                        n_slept += 1
+            if n_slept:
+                self._n_asleep += n_slept
         self.cycle = now + 1
         if self.cycle >= self._next_hook:
             self._fire_hooks()

@@ -18,6 +18,12 @@ from typing import Callable, Deque, Generic, List, Optional, Tuple, TypeVar
 
 T = TypeVar("T")
 
+#: Shared empty result for :meth:`DelayLine.pop_ready` calls with no
+#: due items -- callers only iterate the result, so handing every such
+#: call the same empty list avoids an allocation on a very hot path.
+#: (Never mutated: ``pop_ready`` builds a fresh list when items exist.)
+_NOTHING_READY: List = []
+
 
 class BoundedQueue(Generic[T]):
     """A FIFO with a maximum occupancy.
@@ -56,12 +62,14 @@ class BoundedQueue(Generic[T]):
     def push(self, item: T) -> bool:
         """Append an item; False when the queue is full."""
         items = self._items
-        if len(items) >= self.capacity:
+        occupancy = len(items)
+        if occupancy >= self.capacity:
             return False
         items.append(item)
+        occupancy += 1
         self.total_pushed += 1
-        if len(items) > self.peak_occupancy:
-            self.peak_occupancy = len(items)
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
         return True
 
     def peek(self) -> Optional[T]:
@@ -112,8 +120,10 @@ class DelayLine(Generic[T]):
 
     def pop_ready(self, now: int) -> List[T]:
         """Remove and return every item whose delay elapsed."""
-        ready: List[T] = []
         items = self._items
+        if not items or items[0][0] > now:
+            return _NOTHING_READY
+        ready: List[T] = []
         while items and items[0][0] <= now:
             ready.append(items.popleft()[1])
         return ready
@@ -175,7 +185,19 @@ class BandwidthLink(Generic[T]):
 
     def push(self, item: T, size_bytes: int) -> bool:
         """Enqueue a packet; returns ``False`` when the ingress is full."""
-        return self.input.push((item, size_bytes))
+        # BoundedQueue.push inlined: every request/reply on every link
+        # funnels through here, and the extra call showed in profiles.
+        queue = self.input
+        items = queue._items
+        occupancy = len(items)
+        if occupancy >= queue.capacity:
+            return False
+        items.append((item, size_bytes))
+        occupancy += 1
+        queue.total_pushed += 1
+        if occupancy > queue.peak_occupancy:
+            queue.peak_occupancy = occupancy
+        return True
 
     @property
     def pending(self) -> int:
@@ -204,10 +226,12 @@ class BandwidthLink(Generic[T]):
         deliver packets whose latency elapsed."""
         # Deliver arrivals (head-of-line blocking if sink refuses).
         in_flight = self._in_flight
-        while in_flight and in_flight[0][0] <= now:
-            if not self.sink(in_flight[0][1]):
-                break
-            in_flight.popleft()
+        if in_flight and in_flight[0][0] <= now:
+            sink = self.sink
+            while in_flight and in_flight[0][0] <= now:
+                if not sink(in_flight[0][1]):
+                    break
+                in_flight.popleft()
 
         # Transfer new packets within the accumulated credit.
         queued = self.input._items
@@ -220,14 +244,14 @@ class BandwidthLink(Generic[T]):
         credit = self._credit + self.width_bytes
         if credit > self._credit_cap:
             credit = self._credit_cap
-        pop = self.input.pop
+        latency = self.latency
         while queued:
             item, size = queued[0]
             if credit < size:
                 break
             credit -= size
-            pop()
-            in_flight.append((now + self.latency, item))
+            queued.popleft()
+            in_flight.append((now + latency, item))
             self.bytes_transferred += size
             self.packets_transferred += 1
         self._credit = credit

@@ -14,7 +14,9 @@ import enum
 import itertools
 import sys
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, List, Optional
+
+from repro.sim import fastlane
 
 #: Cache line size in bytes used throughout the model (Table 1: 128 B block).
 LINE_BYTES = 128
@@ -57,6 +59,22 @@ class AccessKind(enum.Enum):
 
 
 _req_ids = itertools.count()
+
+#: Per-kind packet sizes, precomputed so the hot ``request_bytes`` /
+#: ``reply_bytes`` properties are a single dict probe instead of a
+#: chain of enum-property checks.
+_KIND_REQUEST_BYTES = {
+    AccessKind.LOAD: READ_REQUEST_BYTES,
+    AccessKind.LOAD_RO: READ_REQUEST_BYTES,
+    AccessKind.STORE: WRITE_REQUEST_BYTES,
+    AccessKind.ATOMIC: WRITE_REQUEST_BYTES,
+}
+_KIND_REPLY_BYTES = {
+    AccessKind.LOAD: REPLY_BYTES,
+    AccessKind.LOAD_RO: REPLY_BYTES,
+    AccessKind.STORE: READ_REQUEST_BYTES,
+    AccessKind.ATOMIC: WRITE_REQUEST_BYTES,
+}
 
 #: ``dataclass(slots=True)`` needs Python 3.10; on 3.9 requests fall
 #: back to __dict__ storage (slower, same behaviour).
@@ -113,21 +131,16 @@ class MemoryRequest:
 
     @property
     def request_bytes(self) -> int:
-        """Bytes this request occupies on a request link."""
-        if self.kind.is_write:
-            return WRITE_REQUEST_BYTES  # address + data/operand
-        return READ_REQUEST_BYTES
+        """Bytes this request occupies on a request link (writes carry
+        address + data/operand, reads address + control only)."""
+        return _KIND_REQUEST_BYTES[self.kind]
 
     @property
     def reply_bytes(self) -> int:
         """Bytes the reply occupies on a reply link: a full line for
         loads, the old value for atomics, a control-only ack for
         stores."""
-        if self.kind is AccessKind.STORE:
-            return READ_REQUEST_BYTES
-        if self.kind is AccessKind.ATOMIC:
-            return WRITE_REQUEST_BYTES
-        return REPLY_BYTES
+        return _KIND_REPLY_BYTES[self.kind]
 
     @property
     def needs_reply_data(self) -> bool:
@@ -151,6 +164,72 @@ class MemoryRequest:
             f"line=0x{self.line_addr:x}, sm={self.sm_id}, "
             f"slice={self.home_slice}, local={self.is_local})"
         )
+
+
+# ----------------------------------------------------------------------
+# Request freelist (fast lane: ``fastlane.FLAGS.request_pool``).
+#
+# Requests are the highest-churn objects in the model (one per L1 miss,
+# millions per run); recycling them at retirement removes the
+# allocation/GC pressure.  Equivalence argument: ``acquire`` resets
+# every field to exactly what the dataclass constructor would produce
+# and draws a fresh ``req_id`` from the *shared* counter, so the id
+# stream -- which appears in tracer events -- is identical whether or
+# not the pool is on.  Release happens only at retirement points where
+# no component holds a reference any more (SM load/atomic completion,
+# LLC store write-validate, MC writeback scheduling).
+# ----------------------------------------------------------------------
+
+_pool: List[MemoryRequest] = []
+
+#: Upper bound on pooled requests; beyond this, retired requests are
+#: left to the garbage collector (in-flight populations are far
+#: smaller in practice).
+_POOL_LIMIT = 8192
+
+
+def acquire(kind: AccessKind, line_addr: int, sm_id: int,
+            vpage: Optional[int] = None) -> MemoryRequest:
+    """A fresh request, recycled from the pool when one is available.
+
+    NOTE: ``repro.sm.core.SMCore._issue_mem`` inlines this body on the
+    issue hot path -- keep the field resets there in sync when the
+    dataclass changes.
+    """
+    if _pool:
+        request = _pool.pop()
+        request.kind = kind
+        request.line_addr = line_addr
+        request.sm_id = sm_id
+        request.req_id = next(_req_ids)
+        request.vpage = vpage
+        request.home_slice = -1
+        request.home_channel = -1
+        request.owner_slice = -1
+        request.src_partition = -1
+        request.home_partition = -1
+        request.is_local = False
+        request.is_replica_access = False
+        request.is_reply = False
+        request.issue_cycle = 0
+        request.complete_cycle = -1
+        request.hit_level = ""
+        request.on_complete = None
+        return request
+    return MemoryRequest(kind, line_addr, sm_id, vpage=vpage)
+
+
+def release(request: MemoryRequest) -> None:
+    """Return a retired request to the pool (no-op when the fast lane
+    is off or the pool is full)."""
+    if fastlane.FLAGS.request_pool and len(_pool) < _POOL_LIMIT:
+        request.on_complete = None
+        _pool.append(request)
+
+
+@fastlane.register_cache
+def _clear_pool() -> None:
+    _pool.clear()
 
 
 class RequestTracker:

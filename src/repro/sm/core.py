@@ -17,11 +17,16 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional, Set, Tuple
 
-from repro.cache.l1 import L1Cache, L1Outcome
+from repro.cache.l1 import L1Cache
 from repro.config.gpu import GPUConfig
 from repro.sim.engine import Component
 from repro.sim.queues import BoundedQueue, DelayLine
-from repro.sim.request import AccessKind, MemoryRequest
+from repro.sim import request as _request_mod
+from repro.sim.request import (
+    AccessKind,
+    MemoryRequest,
+    release as release_request,
+)
 from repro.sm.cta import CTA, DistributedCTAScheduler
 from repro.sm.scheduler import GTOScheduler
 from repro.sm.warp import Barrier, Compute, MemAccess, Warp
@@ -108,17 +113,21 @@ class SMCore(Component):
             1, self.gpu.sm.warps_per_sm // cta_source.warps_per_cta
         )
         self._refill_ctas()
-        self.wake()
+        if not self._awake:
+            self.wake()
 
     def _refill_ctas(self) -> None:
         if self._cta_source is None:
             return
-        # Retire finished CTAs.
-        retired = [cta for cta in self._active_ctas if cta.finished]
-        if retired:
-            for cta in retired:
+        # Retire finished CTAs (single pass; the common periodic scan
+        # finds nothing to retire and allocates no lists).
+        retired = False
+        for cta in self._active_ctas:
+            if cta.finished:
+                retired = True
                 for warp in cta.warps:
                     self.schedulers[warp.sched_index].remove_warp(warp)
+        if retired:
             self._active_ctas = [
                 cta for cta in self._active_ctas if not cta.finished
             ]
@@ -147,30 +156,54 @@ class SMCore(Component):
 
     def deliver_reply(self, request: MemoryRequest) -> bool:
         """Accept a memory reply from the interconnect."""
-        self.wake()
-        return self._replies.push(request)
+        if not self._awake:
+            self.wake()
+        # BoundedQueue.push inlined (one call per reply).
+        queue = self._replies
+        items = queue._items
+        occupancy = len(items)
+        if occupancy >= queue.capacity:
+            return False
+        items.append(request)
+        queue.total_pushed += 1
+        occupancy += 1
+        if occupancy > queue.peak_occupancy:
+            queue.peak_occupancy = occupancy
+        return True
 
     # ------------------------------------------------------------------
     # Per-cycle work.
     # ------------------------------------------------------------------
 
-    def tick(self, now: int) -> None:
+    def tick(self, now: int) -> object:
         if now < self._launch_at:
-            return
+            return None
         if self._replies._items:
             self._drain_replies(now)
-        hit_returns = self._hit_returns
-        if hit_returns._items:
-            for request in hit_returns.pop_ready(now):
-                request.complete(now)
+        hit_returns = self._hit_returns._items
+        if hit_returns and hit_returns[0][0] <= now:
+            while hit_returns and hit_returns[0][0] <= now:
+                request = hit_returns.popleft()[1]
+                # == request.complete(now), inlined on the hit path.
+                request.complete_cycle = now
+                callback = request.on_complete
+                if callback is not None:
+                    callback(request)
                 self.loads_completed += 1
+                release_request(request)
         if self._out._items:
             self._drain_out()
         if self._lsu:
             self._access_l1(now)
         self._issue(now)
-        if now % CTA_REFILL_PERIOD == 0:
+        if not now & (CTA_REFILL_PERIOD - 1):
             self._refill_ctas()
+        # Cheap pre-filter on the idle verdict: a busy SM (the common
+        # case while ticking) skips the full warp/CTA scan in idle().
+        if (self._lsu or self._replies._items or self._out._items
+                or self._hit_returns._items):
+            return False
+        return self.idle(now)
 
     # -- activity contract ---------------------------------------------
 
@@ -213,22 +246,45 @@ class SMCore(Component):
             scheduler.idle_cycles += cycles
 
     def _drain_replies(self, now: int) -> None:
-        while self._replies:
-            request = self._replies.pop()
+        replies = self._replies._items
+        l1 = self.l1
+        array_install = l1.array.install
+        mshr_release = l1.mshr.release
+        completed = 0
+        while replies:
+            request = replies.popleft()
             if request.kind is AccessKind.ATOMIC:
-                # Atomics never allocated in the L1; complete directly.
-                request.complete(now)
-                self.loads_completed += 1
+                # Atomics never allocated in the L1; complete directly
+                # (== request.complete(now), inlined).
+                request.complete_cycle = now
+                callback = request.on_complete
+                if callback is not None:
+                    callback(request)
+                completed += 1
+                release_request(request)
                 continue
-            for waiter in self.l1.fill(request.line_addr):
-                waiter.complete(now)
-                self.loads_completed += 1
+            # == l1.fill(line_addr), inlined.  The carried reply
+            # request is itself on the MSHR waiter list, so releasing
+            # every waiter retires it too.
+            line_addr = request.line_addr
+            array_install(line_addr, dirty=False)
+            for waiter in mshr_release(line_addr):
+                # == waiter.complete(now), inlined.
+                waiter.complete_cycle = now
+                callback = waiter.on_complete
+                if callback is not None:
+                    callback(waiter)
+                completed += 1
+                release_request(waiter)
+        self.loads_completed += completed
 
     def _drain_out(self) -> None:
-        while self._out:
-            if not self.request_sink(self._out.peek()):
+        items = self._out._items
+        sink = self.request_sink
+        while items:
+            if not sink(items[0]):
                 break
-            request = self._out.pop()
+            request = items.popleft()
             if self.tracer.enabled:
                 self.tracer.emit(
                     "sm.miss", "sm", self.name,
@@ -241,47 +297,107 @@ class SMCore(Component):
                 )
 
     def _access_l1(self, now: int) -> None:
-        """Up to two L1 port accesses per cycle for translated requests."""
-        ports = len(self.schedulers)
-        for _ in range(ports):
-            if not self._lsu or self._lsu[0][0] > now:
+        """Up to two L1 port accesses per cycle for translated requests.
+
+        ``BoundedQueue.push`` on the miss queue, ``DelayLine.push`` on
+        the hit-return line and ``L1Cache.access_load`` are inlined:
+        the loop-top capacity check already guarantees space for this
+        iteration's single push, and the load path (one call per
+        coalesced line) replicates ``access_load`` branch for branch so
+        hit/miss accounting stays exact.
+        """
+        lsu = self._lsu
+        out = self._out
+        out_items = out._items
+        hit_items = self._hit_returns._items
+        hit_delay = self._hit_returns.delay
+        l1 = self.l1
+        array_lookup = l1.array.lookup
+        mshr = l1.mshr
+        mshr_pending = mshr._pending
+        heappop = heapq.heappop
+        for _ in range(len(self.schedulers)):
+            if not lsu or lsu[0][0] > now:
                 return
-            if self._out.full:
+            occupancy = len(out_items)
+            if occupancy >= out.capacity:
                 return  # cannot emit misses; try again next cycle
-            ready_at, seq, request = heapq.heappop(self._lsu)
-            if request.kind is AccessKind.STORE:
-                self.l1.access_store(request)
-                self._out.push(request)
-                continue
-            if request.kind is AccessKind.ATOMIC:
+            ready_at, seq, request = heappop(lsu)
+            kind = request.kind
+            if kind is AccessKind.STORE:
+                l1.access_store(request)
+            elif kind is AccessKind.ATOMIC:
                 # Atomics bypass the L1 and execute at the LLC
                 # (Section 5.3); any cached copy becomes stale.
-                self.l1.array.invalidate(request.line_addr)
-                self._out.push(request)
-                continue
-            outcome = self.l1.access_load(request)
-            if outcome is L1Outcome.HIT:
-                self._hit_returns.push(request, now)
-            elif outcome is L1Outcome.MISS_NEW:
-                self._out.push(request)
-            elif outcome is L1Outcome.STALL:
-                # L1 MSHRs full: retry shortly.
-                heapq.heappush(self._lsu, (now + 4, seq, request))
-                return
-            # MISS_MERGED: fill will complete the waiter.
+                l1.array.invalidate(request.line_addr)
+            else:
+                # == l1.access_load(request), inlined -- including the
+                # MSHR allocate, whose accounting (merges/stalls/
+                # allocations/peak) mirrors MSHRFile.allocate exactly.
+                line_addr = request.line_addr
+                if array_lookup(line_addr):
+                    l1.load_hits += 1
+                    request.hit_level = "l1"
+                    hit_items.append((now + hit_delay, request))
+                    continue
+                waiters = mshr_pending.get(line_addr)
+                if waiters is not None:
+                    waiters.append(request)
+                    mshr.merges += 1
+                    l1.load_misses += 1
+                    continue  # fill will complete the waiter
+                mshr_occupancy = len(mshr_pending)
+                if mshr_occupancy >= mshr.entries:
+                    # L1 MSHRs full: retry shortly.
+                    mshr.stalls += 1
+                    heapq.heappush(lsu, (now + 4, seq, request))
+                    return
+                mshr_pending[line_addr] = [request]
+                mshr.allocations += 1
+                mshr_occupancy += 1
+                if mshr_occupancy > mshr.peak_occupancy:
+                    mshr.peak_occupancy = mshr_occupancy
+                l1.load_misses += 1
+                # A new miss falls through to the shared miss enqueue.
+            out_items.append(request)
+            out.total_pushed += 1
+            occupancy += 1
+            if occupancy > out.peak_occupancy:
+                out.peak_occupancy = occupancy
 
     def _issue(self, now: int) -> None:
-        issued_any = False
+        issued = 0
         for scheduler in self.schedulers:
-            warp = scheduler.pick(now)
-            if warp is None:
-                continue
-            instr = warp.next_instruction()
-            if instr is None:
-                scheduler.notify_stall(warp)
-                continue
-            issued_any = True
-            self.instructions += 1
+            # GTOScheduler.pick inlined (greedy first, else oldest) --
+            # the call ran twice per awake-SM cycle and dominated the
+            # issue path's profile; statistics match pick exactly.
+            warp = scheduler._greedy
+            if (warp is None or warp.done or warp.at_barrier
+                    or warp.outstanding != 0 or warp.ready_at > now):
+                warp = None
+                for candidate in scheduler._warps:
+                    if (not candidate.done and not candidate.at_barrier
+                            and candidate.outstanding == 0
+                            and candidate.ready_at <= now):
+                        scheduler._greedy = candidate
+                        warp = candidate
+                        break
+                if warp is None:
+                    scheduler.idle_cycles += 1
+                    continue
+            scheduler.issues += 1
+            # == warp.next_instruction(), with next()'s C-level default
+            # instead of a method call plus try/except per fetch.
+            instr = warp.stalled_instr
+            if instr is not None:
+                warp.stalled_instr = None
+            else:
+                instr = next(warp.stream, None)
+                if instr is None:
+                    warp.done = True
+                    scheduler.notify_stall(warp)
+                    continue
+            issued += 1
             warp.instructions_issued += 1
             if type(instr) is Compute:
                 warp.ready_at = now + instr.cycles
@@ -290,7 +406,12 @@ class SMCore(Component):
                 self._arrive_at_barrier(warp, scheduler, now)
                 continue
             self._issue_mem(warp, instr, scheduler, now)
-        if not issued_any:
+        # Accumulated locally; an LSU-full replay inside _issue_mem
+        # decrements self.instructions, and addition commutes, so the
+        # end-of-tick value matches the per-issue increments exactly.
+        if issued:
+            self.instructions += issued
+        else:
             self.stall_cycles += 1
 
     def _issue_mem(
@@ -312,22 +433,55 @@ class SMCore(Component):
         if kind is AccessKind.LOAD and instr.space in self._read_only_spaces:
             kind = AccessKind.LOAD_RO
         is_store = kind is AccessKind.STORE
+        translate = self.mmu.translate
+        lines_per_page = self.gpu.lines_per_page
+        lsu = self._lsu
+        heappush = heapq.heappush
+        seq = self._lsu_seq
+        sm_id = self.sm_id
+        load_cb = None if is_store else warp.load_cb
+        count = 0
+        # ``request.acquire`` inlined (one call per coalesced line):
+        # the field resets mirror the dataclass constructor exactly,
+        # except that ``issue_cycle``/``on_complete`` skip the default
+        # store because they are assigned real values right away.  The
+        # pool list and id counter are re-read from the module each
+        # call so fastlane resets and test reseeds stay visible.
+        pool = _request_mod._pool
+        req_ids = _request_mod._req_ids
         for vpage, line_in_page in instr.targets:
-            ready_at, frame = self.mmu.translate(vpage, now)
-            line_addr = frame * self.gpu.lines_per_page + line_in_page
-            request = MemoryRequest(
-                kind, line_addr, self.sm_id, vpage=vpage
-            )
-            request.issue_cycle = now
-            if is_store:
-                self.stores_issued += 1
+            ready_at, frame = translate(vpage, now)
+            line_addr = frame * lines_per_page + line_in_page
+            if pool:
+                request = pool.pop()
+                request.kind = kind
+                request.line_addr = line_addr
+                request.sm_id = sm_id
+                request.req_id = next(req_ids)
+                request.vpage = vpage
+                request.home_slice = -1
+                request.home_channel = -1
+                request.owner_slice = -1
+                request.src_partition = -1
+                request.home_partition = -1
+                request.is_local = False
+                request.is_replica_access = False
+                request.is_reply = False
+                request.complete_cycle = -1
+                request.hit_level = ""
             else:
-                self.loads_issued += 1
-                request.on_complete = warp.load_returned
-            self._lsu_seq += 1
-            heapq.heappush(self._lsu, (ready_at, self._lsu_seq, request))
-        if not is_store:
-            warp.block_on_loads(len(instr.targets))
+                request = MemoryRequest(kind, line_addr, sm_id, vpage=vpage)
+            request.issue_cycle = now
+            request.on_complete = load_cb
+            count += 1
+            seq += 1
+            heappush(lsu, (ready_at, seq, request))
+        self._lsu_seq = seq
+        if is_store:
+            self.stores_issued += count
+        else:
+            self.loads_issued += count
+            warp.block_on_loads(count)
             scheduler.notify_stall(warp)
         warp.ready_at = now + 1
 

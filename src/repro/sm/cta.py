@@ -26,13 +26,22 @@ WarpFactory = Callable[[int, int], Iterator[Instruction]]
 class CTA:
     """A CTA instance: a group of warps sharing a CTA id."""
 
+    __slots__ = ("cta_id", "warps")
+
     def __init__(self, cta_id: int, warps: List[Warp]) -> None:
         self.cta_id = cta_id
         self.warps = warps
 
     @property
     def finished(self) -> bool:
-        return all(warp.finished for warp in self.warps)
+        # Inlined warp.finished (done and no outstanding loads): this
+        # property sits in the SM idle check and the periodic CTA
+        # refill scan, where the genexpr + property indirection shows
+        # up in profiles.
+        for warp in self.warps:
+            if not warp.done or warp.outstanding:
+                return False
+        return True
 
 
 class DistributedCTAScheduler:

@@ -71,6 +71,7 @@ class Warp:
         "instructions_issued",
         "sched_index",
         "at_barrier",
+        "load_cb",
     )
 
     def __init__(self, warp_id: int, cta_id: int,
@@ -89,6 +90,10 @@ class Warp:
         self.sched_index = 0
         #: True while the warp waits at a CTA barrier (Section 5.3).
         self.at_barrier = False
+        #: Pre-bound completion callback: issuing creates one request per
+        #: coalesced line, and binding ``load_returned`` freshly for each
+        #: allocated a method object per request.
+        self.load_cb = self.load_returned
 
     def is_ready(self, now: int) -> bool:
         """True when the warp can issue this cycle."""

@@ -19,8 +19,11 @@ Two policies are provided:
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 from repro.config.gpu import GPUConfig
 from repro.config.topology import AddressMapKind
+from repro.sim import fastlane
 
 
 def _log2(value: int) -> int:
@@ -55,6 +58,14 @@ class AddressMap:
         self.lines_per_page = gpu.lines_per_page
         #: Line-address bit where the page offset ends.
         self.page_line_bits = self.page_bits - self.line_bits
+        # Fast lane (``fastlane.FLAGS.route_table``): channel, bank and
+        # slice are pure functions of the *physical frame* (everything
+        # above the page offset) under both maps, so per-frame memos
+        # can never go stale -- page migration remaps vpage -> frame,
+        # never a frame's route.  Gated at construction time.
+        self._memoize = fastlane.FLAGS.route_table
+        self._route_cache: Dict[int, Tuple[int, int]] = {}
+        self._bank_cache: Dict[int, int] = {}
 
     # -- interface ---------------------------------------------------
 
@@ -64,17 +75,49 @@ class AddressMap:
 
     def bank_of_line(self, line_addr: int) -> int:
         """Bank within the channel, XOR-randomised for row locality."""
-        above_offset = line_addr >> self.page_line_bits
-        return _xor_fold(above_offset >> self.channel_bits, self.bank_bits) or 0
+        frame = line_addr >> self.page_line_bits
+        bank = self._bank_cache.get(frame)
+        if bank is None:
+            bank = _xor_fold(frame >> self.channel_bits, self.bank_bits) or 0
+            if self._memoize:
+                self._bank_cache[frame] = bank
+        return bank
+
+    def route_of_line(self, line_addr: int) -> Tuple[int, int]:
+        """``(channel, slice)`` for a line in one per-frame memo hit.
+
+        The system router needs both on every request; computing them
+        together replaces two ``_xor_fold``/shift chains with a single
+        dict probe on the hot path.
+        """
+        frame = line_addr >> self.page_line_bits
+        route = self._route_cache.get(frame)
+        if route is None:
+            channel = self.channel_of_line(line_addr)
+            if self.slices_per_channel == 1:
+                route = (channel, channel)
+            else:
+                within = self.bank_of_line(line_addr) % self.slices_per_channel
+                route = (channel,
+                         channel * self.slices_per_channel + within)
+            if self._memoize:
+                self._route_cache[frame] = route
+        return route
 
     def slice_of_line(self, line_addr: int) -> int:
         """Global LLC slice index; slices are grouped per channel and the
         least significant bank bit(s) select the slice within a channel."""
-        channel = self.channel_of_line(line_addr)
-        if self.slices_per_channel == 1:
-            return channel
-        within = self.bank_of_line(line_addr) % self.slices_per_channel
-        return channel * self.slices_per_channel + within
+        return self.route_of_line(line_addr)[1]
+
+    def flush_routes(self) -> None:
+        """Drop the per-frame memos.
+
+        Routes are frame-pure and cannot go stale; this exists for the
+        invalidation tests and for symmetry with the other fast-lane
+        caches (``fastlane.disabled()`` builds fresh maps anyway).
+        """
+        self._route_cache.clear()
+        self._bank_cache.clear()
 
     # -- driver support ----------------------------------------------
 

@@ -24,6 +24,7 @@ from collections import OrderedDict
 from typing import Dict, Tuple
 
 from repro.config.gpu import TLBConfig
+from repro.sim import fastlane
 from repro.vm.walker import WalkerPool
 
 
@@ -47,39 +48,86 @@ class TranslationProvider:
         """TLB tag for this translation (per-partition for replication)."""
         return vpage
 
+    def translation_key_params(self, sm_id: int):
+        """Affine description of :meth:`translation_key` for one SM.
+
+        Returns ``(stride, offset)`` such that
+        ``translation_key(vpage, sm_id) == vpage * stride + offset``, or
+        ``None`` when the key is not affine in the virtual page.  The
+        MMU hoists these two constants at construction so the translate
+        hot path computes the key inline instead of calling back into
+        the provider for every access.  Providers overriding
+        :meth:`translation_key` with a non-affine scheme must override
+        this to return ``None``.
+        """
+        if type(self).translation_key is TranslationProvider.translation_key:
+            return (1, 0)
+        return None
+
 
 class L1TLB:
-    """Per-SM fully-associative TLB with LRU replacement."""
+    """Per-SM fully-associative TLB with LRU replacement.
+
+    Fast lane (``fastlane.FLAGS.tlb_mru``): a one-entry MRU front
+    cache.  The invariant is *MRU key == last (most recent) entry of
+    the LRU OrderedDict*, maintained on every hit and fill and cleared
+    on flush.  Probing the MRU key is therefore order-neutral: the
+    strict path's ``move_to_end`` would be a no-op, so skipping the
+    ``get``/``move_to_end`` pair leaves the LRU order -- and every
+    future eviction -- bit-identical.  Hit accounting stays exact
+    (``hits`` is bumped immediately on the fast path, never deferred)
+    because stats snapshots and timelines read ``hits``/``misses``
+    mid-run.
+    """
+
+    __slots__ = ("entries", "_map", "hits", "misses",
+                 "_mru_key", "_mru_frame", "_use_mru")
 
     def __init__(self, entries: int) -> None:
         self.entries = entries
         self._map: "OrderedDict[int, int]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: MRU front cache; ``None`` key means empty (keys are ints).
+        self._mru_key: object = None
+        self._mru_frame = -1
+        self._use_mru = fastlane.FLAGS.tlb_mru
 
     def lookup(self, key: int) -> Tuple[bool, int]:
         """Probe the TLB; (hit, frame)."""
+        if key == self._mru_key:
+            # Already the last entry: move_to_end would be a no-op.
+            self.hits += 1
+            return True, self._mru_frame
         frame = self._map.get(key)
         if frame is None:
             self.misses += 1
             return False, -1
         self._map.move_to_end(key)
         self.hits += 1
+        if self._use_mru:
+            self._mru_key = key
+            self._mru_frame = frame
         return True, frame
 
     def fill(self, key: int, frame: int) -> None:
-        """Install/refresh a translation."""
-        if key in self._map:
-            self._map[key] = frame
-            self._map.move_to_end(key)
-            return
-        if len(self._map) >= self.entries:
-            self._map.popitem(last=False)
-        self._map[key] = frame
+        """Install/refresh a translation (single-lookup path: a pop of
+        an existing key followed by reinsertion at the MRU end is
+        exactly the old update + ``move_to_end``; eviction only
+        happens when the key was absent and the TLB full)."""
+        tlb_map = self._map
+        if tlb_map.pop(key, None) is None and len(tlb_map) >= self.entries:
+            tlb_map.popitem(last=False)
+        tlb_map[key] = frame
+        if self._use_mru:
+            self._mru_key = key
+            self._mru_frame = frame
 
     def flush(self) -> None:
-        """Invalidate every entry."""
+        """Invalidate every entry (including the MRU front cache)."""
         self._map.clear()
+        self._mru_key = None
+        self._mru_frame = -1
 
     @property
     def hit_rate(self) -> float:
@@ -122,13 +170,10 @@ class L2TLB:
         return True, frame
 
     def fill(self, key: int, frame: int) -> None:
-        """Install/refresh a translation."""
+        """Install/refresh a translation (single-lookup path, same
+        argument as :meth:`L1TLB.fill`)."""
         tlb_set = self._set_for(key)
-        if key in tlb_set:
-            tlb_set[key] = frame
-            tlb_set.move_to_end(key)
-            return
-        if len(tlb_set) >= self.ways:
+        if tlb_set.pop(key, None) is None and len(tlb_set) >= self.ways:
             tlb_set.popitem(last=False)
         tlb_set[key] = frame
 
@@ -161,6 +206,13 @@ class MMU:
         self.provider = provider
         self._generation = provider.translation_generation
         self.page_faults = 0
+        # Hoisted config reads for the translate hot path.
+        self._l1_latency = config.l1_latency
+        self._l1_l2_latency = config.l1_latency + config.l2_latency
+        #: ``(stride, offset)`` when the provider's translation key is
+        #: affine in the vpage (the common case); None forces the
+        #: per-call ``translation_key`` callback.
+        self._key_params = provider.translation_key_params(sm_id)
 
     def _check_shootdown(self) -> None:
         """Coarse TLB shootdown: flush on any translation-generation bump
@@ -172,16 +224,30 @@ class MMU:
 
     def translate(self, vpage: int, now: int) -> Tuple[int, int]:
         """Translate a virtual page; returns (ready_cycle, frame)."""
-        self._check_shootdown()
-        key = self.provider.translation_key(vpage, self.sm_id)
-        hit, frame = self.l1.lookup(key)
+        provider = self.provider
+        if provider.translation_generation != self._generation:
+            self.l1.flush()
+            self.l2.flush()
+            self._generation = provider.translation_generation
+        params = self._key_params
+        if params is not None:
+            key = vpage * params[0] + params[1]
+        else:
+            key = provider.translation_key(vpage, self.sm_id)
+        l1 = self.l1
+        if key == l1._mru_key:
+            # Inlined MRU front-cache hit (see L1TLB): order-neutral
+            # and accounted exactly.
+            l1.hits += 1
+            return now + self._l1_latency, l1._mru_frame
+        hit, frame = l1.lookup(key)
         if hit:
-            return now + self.config.l1_latency, frame
+            return now + self._l1_latency, frame
 
-        latency = self.config.l1_latency + self.config.l2_latency
+        latency = self._l1_l2_latency
         hit, frame = self.l2.lookup(key)
         if hit:
-            self.l1.fill(key, frame)
+            l1.fill(key, frame)
             return now + latency, frame
 
         # L2 miss: walk the page table.

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.sim import fastlane
 from repro.sim.request import AccessKind
 from repro.sm.warp import Barrier, Compute, Instruction, MemAccess
 
@@ -71,15 +72,61 @@ class Region:
         )
 
 
+# ----------------------------------------------------------------------
+# Instruction interning (fast lane: ``fastlane.FLAGS.intern_bodies``).
+#
+# Deterministic generators rebuild identical vectorised accesses for
+# thousands of warps (every warp of a CTA class walks the same slab
+# offsets; every warp yields the same ``Compute(n)``).  MemAccess and
+# Compute are frozen dataclasses and consumers only ever read their
+# fields, so sharing one object per distinct value is observationally
+# identical to building a fresh one each time.  Keys use the Region
+# itself (frozen, value-hashable) so equal slabs from different CTAs
+# share entries.  The start offset is normalised modulo the region
+# span first: ``line_target`` wraps per element, so ``start % span``
+# yields exactly the same target tuple.
+# ----------------------------------------------------------------------
+
+_mem_interned: Dict[tuple, MemAccess] = {}
+_compute_interned: Dict[int, Compute] = {}
+
+
+@fastlane.register_cache
+def _clear_interned() -> None:
+    _mem_interned.clear()
+    _compute_interned.clear()
+
+
+def _vaccess(kind: AccessKind, region: Region,
+             start: int, count: int) -> MemAccess:
+    start %= region.pages * LINES_PER_PAGE
+    key = (kind, region, start, count)
+    instr = _mem_interned.get(key)
+    if instr is None:
+        targets = tuple(region.line_target(start + k) for k in range(count))
+        instr = MemAccess(kind, targets, space=region.name)
+        if fastlane.FLAGS.intern_bodies:
+            _mem_interned[key] = instr
+    return instr
+
+
 def _vload(region: Region, start: int, count: int) -> MemAccess:
     """A vectorised load of ``count`` consecutive lines."""
-    targets = tuple(region.line_target(start + k) for k in range(count))
-    return MemAccess(AccessKind.LOAD, targets, space=region.name)
+    return _vaccess(AccessKind.LOAD, region, start, count)
 
 
 def _vstore(region: Region, start: int, count: int) -> MemAccess:
-    targets = tuple(region.line_target(start + k) for k in range(count))
-    return MemAccess(AccessKind.STORE, targets, space=region.name)
+    return _vaccess(AccessKind.STORE, region, start, count)
+
+
+def _compute(cycles: int) -> Compute:
+    """An interned ``Compute`` (one shared object per latency)."""
+    instr = _compute_interned.get(cycles)
+    if instr is None:
+        instr = Compute(cycles)
+        if fastlane.FLAGS.intern_bodies:
+            _compute_interned[cycles] = instr
+    return instr
 
 
 def stream_private(
@@ -113,7 +160,7 @@ def stream_private(
         for i in range(0, lines, vector):
             yield _vload(slab, base + i, min(vector, lines - i))
             if compute:
-                yield Compute(compute)
+                yield _compute(compute)
             if (
                 out_slab is not None
                 and pass_index == 0
@@ -141,7 +188,7 @@ def broadcast_shared(
     for i in range(0, lines, vector):
         yield _vload(shared, offset + i, min(vector, lines - i))
         if compute:
-            yield Compute(compute)
+            yield _compute(compute)
 
 
 def gemm_like(
@@ -172,7 +219,7 @@ def gemm_like(
             yield _vload(a_slab, tile * LINES_PER_PAGE + warp_base + i, count)
             # B walk: all CTAs sweep the same tile sequence.
             yield _vload(b, tile * tile_lines + warp_base + i, count)
-            yield Compute(compute)
+            yield _compute(compute)
         yield _vstore(c_slab, tile * warps_per_cta + warp_id, 1)
 
 
@@ -215,7 +262,7 @@ def irregular_private(
                 space=counters.name,
             )
         if compute:
-            yield Compute(compute)
+            yield _compute(compute)
 
 
 def irregular_shared(
@@ -244,7 +291,7 @@ def irregular_shared(
         )
         yield MemAccess(AccessKind.LOAD, targets, space=data.name)
         if compute:
-            yield Compute(compute)
+            yield _compute(compute)
         if barrier_every and (access + 1) % barrier_every == 0:
             yield Barrier()
 
@@ -275,7 +322,7 @@ def stencil(
         yield _vload(slab, base + i, min(vector, lines - i))
         if (i // vector) % halo_every == 0:
             yield _vload(neighbour, i, 1)
-        yield Compute(compute)
+        yield _compute(compute)
         if (i // vector) % 4 == 0:
             yield _vstore(out_slab, base + i, 1)
 
@@ -313,7 +360,7 @@ def group_shared(
         )
         yield MemAccess(AccessKind.LOAD, targets, space=shared.name)
         if compute:
-            yield Compute(compute)
+            yield _compute(compute)
 
 
 def dnn_layer(
@@ -344,6 +391,6 @@ def dnn_layer(
             w_index = (base + i + r * 13) % (weights.pages * LINES_PER_PAGE)
             yield _vload(weights, w_index, count)
             yield _vload(act, base + i, count)
-            yield Compute(compute)
+            yield _compute(compute)
             if (i // vector) % 8 == 0:
                 yield _vstore(out_slab, base + i, 1)

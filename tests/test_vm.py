@@ -59,6 +59,56 @@ class TestL1TLB:
         assert tlb.lookup(1) == (False, -1)
 
 
+class TestL1TLBMRUFrontCache:
+    """Invalidation and order-neutrality of the one-entry MRU front
+    cache (fastlane ``tlb_mru``, docs/PERFORMANCE.md "Busy path")."""
+
+    def test_mru_tracks_hits_and_fills(self):
+        tlb = L1TLB(4)
+        tlb.fill(1, 10)
+        assert (tlb._mru_key, tlb._mru_frame) == (1, 10)
+        tlb.fill(2, 20)
+        assert tlb._mru_key == 2
+        assert tlb.lookup(1) == (True, 10)
+        assert (tlb._mru_key, tlb._mru_frame) == (1, 10)
+
+    def test_flush_clears_mru(self):
+        tlb = L1TLB(4)
+        tlb.fill(1, 10)
+        tlb.flush()
+        assert tlb._mru_key is None
+        assert tlb.lookup(1) == (False, -1)
+
+    def test_mru_hit_preserves_lru_order(self):
+        # The MRU probe skips move_to_end; the invariant (MRU key ==
+        # most-recent LRU entry) makes that a no-op, so eviction order
+        # must match a plain LRU exactly.
+        tlb = L1TLB(2)
+        tlb.fill(1, 10)
+        tlb.fill(2, 20)
+        assert tlb.lookup(2) == (True, 20)  # MRU front-cache hit
+        tlb.fill(3, 30)  # must evict 1 (the true LRU), not 2
+        assert tlb.lookup(1) == (False, -1)
+        assert tlb.lookup(2) == (True, 20)
+
+    def test_hit_accounting_exact_on_mru_path(self):
+        tlb = L1TLB(4)
+        tlb.fill(1, 10)
+        tlb.lookup(1)
+        tlb.lookup(1)  # MRU path must bump hits immediately
+        assert (tlb.hits, tlb.misses) == (2, 0)
+
+    def test_mru_disabled_keeps_plain_lru(self):
+        from repro.sim import fastlane
+
+        with fastlane.disabled():
+            tlb = L1TLB(2)
+            tlb.fill(1, 10)
+            assert tlb._mru_key is None
+            assert tlb.lookup(1) == (True, 10)
+            assert tlb._mru_key is None
+
+
 class TestL2TLB:
     def test_set_associative_eviction(self):
         tlb = L2TLB(entries=4, ways=2, latency=10)  # 2 sets
@@ -162,6 +212,19 @@ class TestMMU:
         driver._generation += 1
         _, frame = mmu.translate(7, now=5000)
         assert frame == 99  # stale entry flushed, re-walked
+
+    def test_shootdown_clears_mru_front_cache(self):
+        """The inline MRU probe in ``MMU.translate`` must never serve a
+        frame across a translation-generation bump (TLB shootdown)."""
+        mmu, driver = _mmu()
+        mmu.translate(7, now=0)
+        ready, frame = mmu.translate(7, now=100)
+        assert (ready, frame) == (101, 0)  # MRU-warm 1-cycle L1 hit
+        driver.table[7] = 99
+        driver._generation += 1
+        _, frame = mmu.translate(7, now=5000)
+        assert frame == 99  # stale MRU entry flushed with the rest
+        assert mmu.l1._mru_frame == 99  # refilled from the new walk
 
     def test_kernel_boundary_flush_keeps_l2(self):
         mmu, driver = _mmu()
