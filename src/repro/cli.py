@@ -11,6 +11,11 @@ Subcommands::
     python -m repro sweep fig7 fig10 --workers 4 --store results/
     python -m repro bench-perf [--quick] [--update-baseline]
     python -m repro report --out report.md [--workers 4]
+    python -m repro serve --port 8000 --store results/ --workers 4
+    python -m repro submit --url http://host:8000 --bench KMEANS --wait
+    python -m repro status --url http://host:8000 [JOB_ID]
+    python -m repro fetch --url http://host:8000 JOB_ID
+    python -m repro store ls|gc|clear --dir results/
 
 The CLI drives the same public API the examples use; it exists so the
 headline experiments are reproducible without writing any Python.
@@ -18,6 +23,12 @@ headline experiments are reproducible without writing any Python.
 underlying simulation points out across a process pool (see
 docs/ORCHESTRATOR.md) and ``--store`` to persist results on disk so
 interrupted sweeps resume instead of restarting.
+
+Service (docs/SERVICE.md): ``serve`` boots the stdlib HTTP job API in
+front of the orchestrator -- jobs deduplicate against in-flight work
+and the result store, stream progress, and honour per-tenant bounds and
+queue backpressure. ``submit``/``status``/``fetch`` are thin clients
+for it, and ``store`` administers the content-addressed result cache.
 
 Observability (docs/TRACING.md): ``run`` and the dedicated ``trace``
 subcommand accept ``--trace PATH`` (Chrome-trace JSON for Perfetto /
@@ -30,6 +41,7 @@ actually simulated point into ``DIR``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -217,6 +229,98 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--subset", nargs="*", default=None)
     report.add_argument("--channels", type=int, default=None)
     _add_orchestrator_args(report)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP job API (async submissions, dedup against "
+             "the result store, streaming progress; docs/SERVICE.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="listen port (0 = pick a free one)")
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help="content-addressed result cache directory")
+    serve.add_argument("--channels", type=int, default=None,
+                       help="simulate a smaller GPU (memory channels)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent job executions (threads)")
+    serve.add_argument("--per-tenant", type=int, default=None,
+                       help="max concurrent executions per tenant "
+                            "(default: all workers)")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="queued executions before 429 backpressure")
+    serve.add_argument("--sim-workers", type=int, default=1,
+                       help="process-pool workers per execution "
+                            "(1 = inline)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-point timeout in seconds")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="attempts per point beyond the first")
+    serve.add_argument("--ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="evict store entries idle longer than this")
+    serve.add_argument("--max-entries", type=int, default=None,
+                       help="LRU-bound the store to this many entries")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running service",
+    )
+    submit.add_argument("--url", default="http://127.0.0.1:8000",
+                        help="service base URL")
+    submit.add_argument("--bench", default=None,
+                        help="benchmark abbreviation for a single point")
+    submit.add_argument("--arch", type=_architecture,
+                        default=Architecture.NUBA)
+    submit.add_argument(
+        "--replication",
+        choices=[p.value for p in ReplicationPolicy],
+        default=ReplicationPolicy.MDR.value,
+    )
+    submit.add_argument(
+        "--page-policy",
+        choices=[p.value for p in PagePolicy],
+        default=PagePolicy.LAB.value,
+    )
+    submit.add_argument("--figure", default=None,
+                        choices=sorted(FIGURES),
+                        help="submit a whole figure's sweep instead")
+    submit.add_argument("--subset", nargs="*", default=None,
+                        help="benchmarks for --figure")
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--stream", action="store_true",
+                        help="stream progress events until done")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until finished and print results")
+
+    status = sub.add_parser(
+        "status", help="show a job (or all jobs) on a running service",
+    )
+    status.add_argument("job", nargs="?", default=None,
+                        help="job id (omit to list all jobs)")
+    status.add_argument("--url", default="http://127.0.0.1:8000")
+
+    fetch = sub.add_parser(
+        "fetch", help="fetch a finished job's results as JSON",
+    )
+    fetch.add_argument("job", help="job id")
+    fetch.add_argument("--url", default="http://127.0.0.1:8000")
+    fetch.add_argument("--wait", type=float, default=None,
+                       metavar="SECONDS",
+                       help="block server-side up to SECONDS")
+
+    store = sub.add_parser(
+        "store", help="administer a result-store directory",
+    )
+    store.add_argument("action", choices=["ls", "gc", "clear"])
+    store.add_argument("--dir", default="results", metavar="DIR",
+                       help="store directory (default results/)")
+    store.add_argument("--max-age", type=float, default=None,
+                       metavar="SECONDS",
+                       help="gc: evict entries idle longer than this")
+    store.add_argument("--max-entries", type=int, default=None,
+                       help="gc: keep at most this many entries (LRU)")
     return parser
 
 
@@ -546,6 +650,136 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import JobManager, ServiceServer
+    runner = _make_runner(args.channels, args.store)
+    manager = JobManager(
+        runner,
+        workers=args.workers,
+        per_tenant=args.per_tenant,
+        queue_limit=args.queue_limit,
+        sim_workers=args.sim_workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        store_ttl_seconds=args.ttl,
+        store_max_entries=args.max_entries,
+    )
+    server = ServiceServer(manager, host=args.host, port=args.port,
+                           quiet=not args.verbose)
+    print(f"repro service listening on {server.url} "
+          f"({args.workers} workers, queue limit {args.queue_limit}, "
+          f"store {args.store or 'none (in-memory cache only)'})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+        server.stop()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.experiments.runner import RunKey
+    from repro.service import ServiceClient, ServiceError
+    client = ServiceClient(args.url)
+    try:
+        if args.figure:
+            job = client.submit(figure=args.figure, subset=args.subset,
+                                tenant=args.tenant)
+        elif args.bench:
+            key = RunKey(
+                args.bench, args.arch,
+                replication=ReplicationPolicy(args.replication),
+                page_policy=PagePolicy(args.page_policy),
+            )
+            job = client.submit(points=[(None, key)], tenant=args.tenant)
+        else:
+            print("submit needs --bench or --figure", file=sys.stderr)
+            return 2
+        print(f"submitted {job['id']}: {job['state']}, "
+              f"{job['points_total']} point(s)")
+        if args.stream:
+            for event in client.events(job["id"]):
+                print(json.dumps(event))
+        if args.wait or args.stream:
+            payload = client.result(job["id"], wait=None if args.stream
+                                    else 3600.0)
+            print(json.dumps(payload, indent=2))
+            return 0 if payload["state"] == "done" else 1
+        return 0
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        if exc.retry_after is not None:
+            print(f"retry after {exc.retry_after:.0f}s", file=sys.stderr)
+        return 1
+
+
+def _cmd_status(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+    client = ServiceClient(args.url)
+    try:
+        if args.job:
+            print(json.dumps(client.job(args.job), indent=2))
+            return 0
+        jobs = client.jobs()
+        if not jobs:
+            print("no jobs")
+            return 0
+        rows = [
+            [job["id"], job["tenant"], job["state"],
+             f"{job['progress']['done']}/{job['progress']['total']}",
+             job["name"]]
+            for job in jobs
+        ]
+        print(format_table(["id", "tenant", "state", "done", "name"],
+                           rows))
+        return 0
+    except ServiceError as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_fetch(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+    client = ServiceClient(args.url)
+    try:
+        payload = client.result(args.job, wait=args.wait)
+    except ServiceError as exc:
+        print(f"fetch failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(payload, indent=2))
+    return 0 if payload["state"] == "done" else 1
+
+
+def _cmd_store(args) -> int:
+    from repro.experiments.store import ResultStore
+    store = ResultStore(args.dir)
+    if args.action == "ls":
+        stats = store.stats()
+        rows = [
+            [entry["name"], entry["bytes"],
+             f"{entry['idle_seconds']:.0f}s"]
+            for entry in store.entries()
+        ]
+        if rows:
+            print(format_table(["entry", "bytes", "idle"], rows))
+        print(f"{stats['entries']} entries, {stats['bytes']} bytes")
+        return 0
+    if args.action == "gc":
+        outcome = store.gc(max_age_seconds=args.max_age,
+                           max_entries=args.max_entries)
+        print(f"evicted {outcome['evicted']} entries, swept "
+              f"{outcome['tmp_swept']} stale tmp files; "
+              f"{outcome['entries']} remain")
+        return 0
+    if args.action == "clear":
+        count = len(store)
+        store.clear()
+        print(f"cleared {count} entries from {args.dir}")
+        return 0
+    raise AssertionError("unreachable")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -565,6 +799,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench_perf(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    if args.command == "fetch":
+        return _cmd_fetch(args)
+    if args.command == "store":
+        return _cmd_store(args)
     raise AssertionError("unreachable")
 
 

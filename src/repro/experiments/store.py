@@ -23,6 +23,17 @@ Two correctness properties the sweep orchestrator leans on:
   same directory and renames it into place, so a sweep killed mid-write
   cannot leave a truncated JSON behind that ``load`` would then count
   as a permanent miss (corrupt entries are unlinked on load instead).
+
+Under sustained service traffic (``repro serve``) the store doubles as
+a content-addressed response cache, so it also carries a maintenance
+API: :meth:`ResultStore.stats` (entries/bytes/hit counters),
+:meth:`ResultStore.gc` (TTL and LRU-bounded eviction -- ``load`` bumps
+an entry's mtime on every hit, so mtime order *is* recency order) and a
+stale ``*.tmp`` sweep. The tmp sweep matters beyond tidiness: the sweep
+orchestrator SIGKILLs workers on timeout/pool-rebuild, and a worker
+killed inside ``save`` strands its temporary file forever -- those are
+reaped on store open and during ``gc`` once they outlive a grace
+period no live writer could need.
 """
 
 from __future__ import annotations
@@ -32,8 +43,9 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Mapping, Optional
+from typing import List, Mapping, Optional
 
 from repro.core.system import RunResult
 from repro.experiments.runner import ExperimentRunner, RunKey
@@ -91,11 +103,21 @@ def result_from_dict(data: dict) -> Optional[RunResult]:
 class ResultStore:
     """A directory of persisted RunResults."""
 
-    def __init__(self, root) -> None:
+    #: ``*.tmp`` files older than this are presumed stranded (a worker
+    #: SIGKILLed mid-``save``); no healthy writer holds one for minutes.
+    TMP_GRACE_SECONDS = 60.0
+
+    def __init__(self, root,
+                 tmp_grace_seconds: float = TMP_GRACE_SECONDS) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.tmp_grace_seconds = tmp_grace_seconds
+        # Reap temporaries stranded by a previous killed process; live
+        # writers are protected by the grace period.
+        self.sweep_tmp()
 
     def _path(self, key: RunKey,
               settings: Optional[Mapping[str, object]] = None) -> Path:
@@ -123,6 +145,12 @@ class ResultStore:
             self.misses += 1
             return None
         self.hits += 1
+        # Recency for gc(): a hit refreshes the entry's mtime so LRU
+        # eviction spares what traffic actually reads.
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
         return result
 
     def save(self, key: RunKey, result: RunResult,
@@ -153,9 +181,109 @@ class ResultStore:
         return sum(1 for _ in self.root.glob("*.json"))
 
     def clear(self) -> None:
-        """Delete every persisted result."""
+        """Delete every persisted result (and any temporaries)."""
         for path in self.root.glob("*.json"):
             path.unlink()
+        self.sweep_tmp(grace_seconds=0.0)
+
+    # ------------------------------------------------------------------
+    # Maintenance: stats, TTL/LRU eviction, stranded-tmp sweep.
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Entry count, total bytes and the session hit/miss counters."""
+        entries = 0
+        total_bytes = 0
+        for path in self.root.glob("*.json"):
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        return {
+            "entries": entries,
+            "bytes": total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def entries(self) -> List[dict]:
+        """Per-entry listing (name, bytes, idle seconds), LRU first."""
+        now = time.time()
+        rows = []
+        for path in self.root.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            rows.append({
+                "name": path.stem,
+                "bytes": stat.st_size,
+                "idle_seconds": max(0.0, now - stat.st_mtime),
+            })
+        rows.sort(key=lambda row: -row["idle_seconds"])
+        return rows
+
+    def sweep_tmp(self, grace_seconds: Optional[float] = None) -> int:
+        """Unlink ``*.tmp`` files older than the grace period.
+
+        These are strandings from writers killed mid-``save`` (the
+        orchestrator SIGKILLs hung/timed-out workers); without the
+        sweep they accumulate forever. Returns the number removed.
+        """
+        grace = (self.tmp_grace_seconds if grace_seconds is None
+                 else grace_seconds)
+        now = time.time()
+        swept = 0
+        for path in self.root.glob("*.tmp"):
+            try:
+                if now - path.stat().st_mtime >= grace:
+                    path.unlink()
+                    swept += 1
+            except OSError:
+                continue  # a concurrent writer renamed/removed it
+        return swept
+
+    def gc(self, max_age_seconds: Optional[float] = None,
+           max_entries: Optional[int] = None) -> dict:
+        """Evict entries by TTL and/or LRU count bound.
+
+        ``max_age_seconds`` drops entries idle longer than that (mtime
+        is refreshed on every ``load`` hit, so "idle" means unread).
+        ``max_entries`` then evicts least-recently-used entries until at
+        most that many remain. Stranded temporaries are swept too.
+        Returns ``{"evicted", "tmp_swept", "entries"}``.
+        """
+        tmp_swept = self.sweep_tmp()
+        now = time.time()
+        aged: List[tuple] = []
+        for path in self.root.glob("*.json"):
+            try:
+                aged.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        aged.sort()  # oldest (least recently used) first
+        evicted = 0
+        if max_age_seconds is not None:
+            while aged and now - aged[0][0] >= max_age_seconds:
+                _, path = aged.pop(0)
+                try:
+                    path.unlink()
+                    evicted += 1
+                except OSError:
+                    pass
+        if max_entries is not None:
+            while len(aged) > max(0, max_entries):
+                _, path = aged.pop(0)
+                try:
+                    path.unlink()
+                    evicted += 1
+                except OSError:
+                    pass
+        self.evictions += evicted
+        return {"evicted": evicted, "tmp_swept": tmp_swept,
+                "entries": len(aged)}
 
     # ------------------------------------------------------------------
     # Runner integration.

@@ -23,6 +23,14 @@ Fault tolerance, in order of escalation:
   serial execution in the parent process, as it also does for
   ``workers=1`` (where the pool would only add overhead).
 
+Cancellation: passing ``stop`` (anything with ``is_set()``, e.g. a
+``threading.Event``) makes the orchestrator abort cooperatively -- the
+inline path stops between points, the pool path notices within one
+polling tick and kills the pool, so even a mid-simulation point dies
+with its worker. An aborted run sets ``SweepReport.cancelled``; results
+that completed before the abort are still published, so nothing is
+wasted and the store stays consistent (its writes are atomic).
+
 Results are bitwise identical to the serial path: workers run the exact
 same ``ExperimentRunner._simulate`` on deterministic, seeded workloads.
 """
@@ -86,6 +94,7 @@ class SweepReport:
     duplicates: int = 0
     wall_seconds: float = 0.0
     mode: str = "pool"
+    cancelled: bool = False
 
     @property
     def ok(self) -> bool:
@@ -105,6 +114,8 @@ class SweepReport:
             parts.append(f"{self.pool_restarts} pool restarts")
         if self.failures:
             parts.append(f"{len(self.failures)} FAILED")
+        if self.cancelled:
+            parts.append("CANCELLED")
         parts.append(f"{self.wall_seconds:.1f}s wall ({self.mode})")
         return ", ".join(parts)
 
@@ -120,6 +131,7 @@ class SweepOrchestrator:
                  max_pool_restarts: int = 3,
                  progress: Optional[ProgressReporter] = None,
                  task_fn: Optional[Callable[[RunKey], RunResult]] = None,
+                 stop=None,
                  ) -> None:
         self.runner = runner
         self.workers = workers if workers is not None else (
@@ -136,6 +148,13 @@ class SweepOrchestrator:
         #: tests and custom execution backends. Must be picklable
         #: (module-level) when a process pool is used.
         self.task_fn = task_fn
+        #: Cooperative cancellation: anything with ``is_set()``. When it
+        #: trips, the run aborts (pool killed, pending points dropped)
+        #: and the report comes back with ``cancelled=True``.
+        self.stop = stop
+
+    def _stopped(self) -> bool:
+        return self.stop is not None and self.stop.is_set()
 
     # ------------------------------------------------------------------
     # Public API.
@@ -202,6 +221,9 @@ class SweepOrchestrator:
     def _run_inline(self, pending: Dict[RunKey, str],
                     report: SweepReport) -> None:
         for key, label in pending.items():
+            if self._stopped():
+                report.cancelled = True
+                return
             attempts = 0
             while True:
                 attempts += 1
@@ -209,6 +231,9 @@ class SweepOrchestrator:
                 try:
                     result = self._execute_inline(key)
                 except Exception as exc:  # noqa: BLE001 -- recorded
+                    if self._stopped():
+                        report.cancelled = True
+                        return
                     if attempts <= self.retries:
                         report.retries += 1
                         self.progress.point_retried(label, str(exc),
@@ -315,6 +340,12 @@ class SweepOrchestrator:
 
         try:
             while queue or inflight:
+                if self._stopped():
+                    # Kill the pool so a mid-simulation point dies with
+                    # its worker; completed results were already
+                    # published as they arrived.
+                    report.cancelled = True
+                    return
                 while queue and len(inflight) < self.workers:
                     key = queue.popleft()
                     attempts[key] += 1
@@ -372,6 +403,9 @@ class SweepOrchestrator:
                             break
         finally:
             self._kill_pool(pool)
+
+        if report.cancelled:
+            return
 
         # Terminal degradation: whatever the pool never finished runs
         # inline (points that already failed permanently stay failed).

@@ -6,13 +6,30 @@ tracks completed points, cache hits, failures, per-point wall-clock and
 worker utilization, and periodically emits one-line updates with an
 ETA. With ``stream=None`` it stays silent but still accumulates the
 statistics the orchestrator folds into its report.
+
+Besides the human-readable stream, the reporter exposes a structured
+event hook: :meth:`on_event` registers a callback that receives one
+typed dict per progress event (see :data:`EVENT_TYPES`), each carrying
+the full counter snapshot plus the derived rate/ETA/utilization
+numbers. The service layer (``repro.service``) streams these dicts to
+HTTP clients as NDJSON/SSE; anything else that wants machine-readable
+progress (dashboards, log shippers) can subscribe the same way.
 """
 
 from __future__ import annotations
 
 import sys
 import time
-from typing import Optional, TextIO
+from typing import Callable, Dict, List, Optional, TextIO
+
+#: Every ``type`` value a reporter event can carry.
+EVENT_TYPES = (
+    "start", "cache_hit", "point_done", "point_failed", "point_retried",
+    "note", "finish",
+)
+
+#: A structured progress event (plain dict, JSON-serialisable).
+Event = Dict[str, object]
 
 
 def _fmt_seconds(seconds: float) -> str:
@@ -29,7 +46,9 @@ class ProgressReporter:
     """Counts sweep events and prints rate/ETA lines to a stream."""
 
     def __init__(self, stream="stderr", min_interval: float = 2.0,
-                 label: str = "sweep") -> None:
+                 label: str = "sweep",
+                 on_event: Optional[Callable[[Event], None]] = None,
+                 ) -> None:
         #: ``"stderr"`` (default) resolves at call time; ``None`` means
         #: silent; anything else is used as a text stream directly.
         self.stream: Optional[TextIO] = (
@@ -46,6 +65,48 @@ class ProgressReporter:
         self.busy_seconds = 0.0
         self._started_at: Optional[float] = None
         self._last_emit = 0.0
+        self._listeners: List[Callable[[Event], None]] = []
+        if on_event is not None:
+            self._listeners.append(on_event)
+
+    def on_event(self, callback: Callable[[Event], None]
+                 ) -> Callable[[Event], None]:
+        """Subscribe ``callback`` to structured progress events.
+
+        Each event is a dict with a ``type`` key (one of
+        :data:`EVENT_TYPES`), the counter snapshot (``done``, ``total``,
+        ``executed``, ``cached``, ``failed``, ``retried``) and the
+        derived metrics (``seconds_per_point``, ``utilization``,
+        ``eta_seconds``, ``wall_seconds``), plus per-type payload fields
+        such as ``label``, ``reason`` or ``elapsed``. Returns the
+        callback so it can be used as a decorator.
+        """
+        self._listeners.append(callback)
+        return callback
+
+    def _event(self, type_: str, **payload) -> None:
+        if not self._listeners:
+            return
+        event: Event = {
+            "type": type_,
+            "label": self.label,
+            "done": self.done,
+            "total": self.total,
+            "executed": self.executed,
+            "cached": self.cached,
+            "failed": self.failed,
+            "retried": self.retried,
+            "seconds_per_point": self.seconds_per_point(),
+            "utilization": self.utilization(),
+            "eta_seconds": self.eta_seconds(),
+            "wall_seconds": self.wall_seconds(),
+        }
+        event.update(payload)
+        for callback in list(self._listeners):
+            try:
+                callback(event)
+            except Exception:  # noqa: BLE001 -- a broken subscriber
+                pass           # must not break the sweep it watches
 
     # ------------------------------------------------------------------
     # Events (called by the orchestrator).
@@ -56,32 +117,40 @@ class ProgressReporter:
         self.total = total
         self.workers = max(1, workers)
         self._started_at = time.monotonic()
+        self._event("start", workers=self.workers)
         self._emit(force=True)
 
     def cache_hit(self, label: str) -> None:
         """A point was satisfied by the cache/store without running."""
         self.cached += 1
+        self._event("cache_hit", point=label)
         self._emit()
 
     def point_done(self, label: str, elapsed: float) -> None:
         """A point finished simulating after ``elapsed`` seconds."""
         self.executed += 1
         self.busy_seconds += max(0.0, elapsed)
+        self._event("point_done", point=label, elapsed=elapsed)
         self._emit()
 
     def point_failed(self, label: str, reason: str) -> None:
         """A point exhausted its attempts and was recorded as failed."""
         self.failed += 1
-        self.note(f"FAILED {label}: {reason}")
+        self._event("point_failed", point=label, reason=reason)
+        self.note(f"FAILED {label}: {reason}", _structured=False)
         self._emit(force=True)
 
     def point_retried(self, label: str, reason: str, attempt: int) -> None:
         """A point failed attempt ``attempt`` and was re-queued."""
         self.retried += 1
-        self.note(f"retry #{attempt} {label}: {reason}")
+        self._event("point_retried", point=label, reason=reason,
+                    attempt=attempt)
+        self.note(f"retry #{attempt} {label}: {reason}", _structured=False)
 
-    def note(self, message: str) -> None:
+    def note(self, message: str, _structured: bool = True) -> None:
         """Emit a free-form event line (pool restarts, degradation)."""
+        if _structured:
+            self._event("note", message=message)
         if self.stream is not None:
             print(f"[{self.label}] {message}", file=self.stream, flush=True)
 
@@ -150,6 +219,7 @@ class ProgressReporter:
 
     def finish(self) -> None:
         """Emit the final summary line."""
+        self._event("finish")
         if self.stream is None:
             return
         wall = _fmt_seconds(self.wall_seconds())

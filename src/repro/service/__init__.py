@@ -1,0 +1,44 @@
+"""Simulation-as-a-service: an async job API over the orchestrator.
+
+The service turns the repository's single-user experiment runner into a
+multi-client executor (docs/SERVICE.md): jobs go in over HTTP, identical
+points are content-address-deduplicated against in-flight work and the
+persistent :class:`~repro.experiments.store.ResultStore`, progress
+streams out as NDJSON/SSE, and backpressure plus per-tenant worker
+bounds keep the queue honest under load. Everything is stdlib-only
+(``http.server`` + ``threading``).
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.codec import (
+    CodecError,
+    points_from_wire,
+    runkey_from_dict,
+    runkey_to_dict,
+)
+from repro.service.jobs import EventLog, Job, PointStatus
+from repro.service.manager import (
+    Execution,
+    JobManager,
+    QueueFullError,
+    UnknownJobError,
+)
+from repro.service.server import ServiceHandler, ServiceServer
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "CodecError",
+    "points_from_wire",
+    "runkey_from_dict",
+    "runkey_to_dict",
+    "EventLog",
+    "Job",
+    "PointStatus",
+    "Execution",
+    "JobManager",
+    "QueueFullError",
+    "UnknownJobError",
+    "ServiceHandler",
+    "ServiceServer",
+]

@@ -1,0 +1,146 @@
+"""Thin stdlib HTTP client for the simulation service.
+
+Wraps ``urllib.request`` so the CLI subcommands (``repro
+submit|status|fetch``), the CI smoke test and user scripts can talk to
+``repro serve`` without any dependency. Errors come back as
+:class:`ServiceError` carrying the HTTP status and the server's JSON
+``error`` message; 429 responses also expose ``retry_after``.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.experiments.runner import RunKey
+from repro.service.codec import runkey_to_dict
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """A minimal client for one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport.
+    # ------------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None,
+                 timeout: Optional[float] = None, stream: bool = False):
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers,
+            method=method,
+        )
+        try:
+            response = urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None
+                else timeout,
+            )
+        except urllib.error.HTTPError as exc:
+            retry_after = exc.headers.get("Retry-After")
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except Exception:  # noqa: BLE001 -- non-JSON error body
+                message = str(exc)
+            raise ServiceError(
+                exc.code, message,
+                retry_after=float(retry_after) if retry_after else None,
+            ) from None
+        if stream:
+            return response
+        with response:
+            return json.loads(response.read())
+
+    # ------------------------------------------------------------------
+    # API.
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """Liveness probe: ``{"ok": true}`` when the service is up."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        """Queue/tenant/counter/store statistics (``GET /stats``)."""
+        return self._request("GET", "/stats")
+
+    def submit(self,
+               points: Optional[List[Tuple[Optional[str], RunKey]]] = None,
+               figure: Optional[str] = None,
+               subset: Optional[List[str]] = None,
+               tenant: str = "default",
+               name: Optional[str] = None) -> dict:
+        """Submit points (``(label, RunKey)`` pairs) or a figure job."""
+        body: Dict[str, object] = {"tenant": tenant}
+        if name is not None:
+            body["name"] = name
+        if figure is not None:
+            body["figure"] = figure
+            if subset is not None:
+                body["subset"] = list(subset)
+        elif points:
+            wire = []
+            for label, key in points:
+                entry = runkey_to_dict(key)
+                if label is not None:
+                    entry["label"] = label
+                wire.append(entry)
+            body["points"] = wire
+        else:
+            raise ValueError("submit needs points or a figure name")
+        return self._request("POST", "/jobs", body=body)
+
+    def jobs(self) -> List[dict]:
+        """Summaries of every job the server remembers."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        """One job's status, per-point states and progress metrics."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str, wait: Optional[float] = None) -> dict:
+        """Fetch a finished job's results; ``wait`` blocks server-side."""
+        path = f"/jobs/{job_id}/result"
+        timeout = self.timeout
+        if wait is not None:
+            path += f"?wait={wait:g}"
+            timeout = wait + self.timeout
+        return self._request("GET", path, timeout=timeout)
+
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a job (``DELETE /jobs/<id>``); returns its state."""
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def events(self, job_id: str, since: int = 0,
+               timeout: Optional[float] = None) -> Iterator[dict]:
+        """Yield the job's NDJSON progress events until it finishes."""
+        path = f"/jobs/{job_id}/events?since={since}"
+        if timeout is not None:
+            path += f"&timeout={timeout:g}"
+        response = self._request(
+            "GET", path, stream=True,
+            timeout=None if timeout is None else timeout + self.timeout,
+        )
+        with response:
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line)

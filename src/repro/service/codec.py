@@ -1,0 +1,127 @@
+"""JSON wire codec for experiment points.
+
+The service speaks plain JSON; this module translates between wire
+dicts and the typed :class:`~repro.experiments.runner.RunKey` /
+:class:`~repro.core.system.RunResult` objects the rest of the codebase
+uses. Enum-valued RunKey fields travel as their string values
+(``"nuba"``, ``"mdr"``, ...), with the same architecture aliases the
+CLI accepts (``"uba"`` for ``"mem-side-uba"``). Unknown fields are
+rejected loudly -- a typo'd knob silently falling back to its default
+would poison the content-addressed cache with mislabelled results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config.topology import (
+    AddressMapKind,
+    Architecture,
+    PagePolicy,
+    ReplicationPolicy,
+)
+from repro.experiments.runner import RunKey
+from repro.experiments.store import result_from_dict, result_to_dict
+
+__all__ = [
+    "CodecError",
+    "runkey_to_dict",
+    "runkey_from_dict",
+    "points_from_wire",
+    "result_to_dict",
+    "result_from_dict",
+]
+
+#: RunKey fields whose wire form is the enum's string value.
+ENUM_FIELDS = {
+    "architecture": Architecture,
+    "replication": ReplicationPolicy,
+    "page_policy": PagePolicy,
+    "address_map": AddressMapKind,
+}
+
+#: Accepted shorthand for architecture values (mirrors the CLI).
+ARCHITECTURE_ALIASES = {
+    "uba": Architecture.MEM_SIDE_UBA,
+    "mem-side-uba": Architecture.MEM_SIDE_UBA,
+    "sm-side-uba": Architecture.SM_SIDE_UBA,
+    "nuba": Architecture.NUBA,
+}
+
+_KEY_FIELDS = {field.name: field for field in dataclasses.fields(RunKey)}
+
+
+class CodecError(ValueError):
+    """A wire payload that cannot be decoded into a RunKey."""
+
+
+def runkey_to_dict(key: RunKey) -> Dict[str, object]:
+    """Serialise a RunKey to a JSON-compatible dict (enums as values)."""
+    data: Dict[str, object] = {}
+    for name in _KEY_FIELDS:
+        value = getattr(key, name)
+        data[name] = value.value if hasattr(value, "value") else value
+    return data
+
+
+def _decode_enum(name: str, value, enum_cls):
+    if isinstance(value, enum_cls):
+        return value
+    if name == "architecture" and isinstance(value, str):
+        alias = ARCHITECTURE_ALIASES.get(value.lower())
+        if alias is not None:
+            return alias
+    try:
+        return enum_cls(value)
+    except ValueError:
+        choices = sorted(member.value for member in enum_cls)
+        raise CodecError(
+            f"bad {name} {value!r}; choose from {choices}"
+        ) from None
+
+
+def runkey_from_dict(data: Dict[str, object]) -> RunKey:
+    """Decode a wire dict into a RunKey, validating every field."""
+    if not isinstance(data, dict):
+        raise CodecError(f"point must be an object, got {type(data).__name__}")
+    kwargs: Dict[str, object] = {}
+    for name, value in data.items():
+        if name == "label":
+            continue  # carried alongside the key, not part of it
+        if name not in _KEY_FIELDS:
+            raise CodecError(
+                f"unknown RunKey field {name!r}; "
+                f"known: {sorted(_KEY_FIELDS)}"
+            )
+        enum_cls = ENUM_FIELDS.get(name)
+        if enum_cls is not None:
+            value = _decode_enum(name, value, enum_cls)
+        kwargs[name] = value
+    if "benchmark" not in kwargs:
+        raise CodecError("point is missing 'benchmark'")
+    try:
+        return RunKey(**kwargs)
+    except TypeError as exc:
+        raise CodecError(str(exc)) from None
+
+
+def points_from_wire(points: Sequence[Dict[str, object]],
+                     ) -> List[Tuple[Optional[str], RunKey]]:
+    """Decode a list of wire point dicts into (label, RunKey) pairs.
+
+    Each dict is RunKey fields plus an optional ``label``; a missing
+    label falls back to ``RunKey.describe()`` at submission time.
+    """
+    if not isinstance(points, (list, tuple)):
+        raise CodecError("'points' must be a list of point objects")
+    if not points:
+        raise CodecError("'points' must not be empty")
+    decoded: List[Tuple[Optional[str], RunKey]] = []
+    for entry in points:
+        key = runkey_from_dict(entry)
+        label = entry.get("label") if isinstance(entry, dict) else None
+        if label is not None and not isinstance(label, str):
+            raise CodecError("point 'label' must be a string")
+        decoded.append((label, key))
+    return decoded

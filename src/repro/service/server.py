@@ -1,0 +1,322 @@
+"""The HTTP face of the simulation service (stdlib only).
+
+A :class:`ThreadingHTTPServer` in front of a
+:class:`~repro.service.manager.JobManager`. One handler thread per
+connection; long-lived event streams therefore cost a thread each,
+which is the right trade for a stdlib-only service (the manager caps
+actual simulation concurrency, not the HTTP layer).
+
+REST surface::
+
+    POST   /jobs              submit {points: [...]} or {figure: "fig7"}
+    GET    /jobs              list jobs
+    GET    /jobs/<id>         job status + per-point states + progress
+    GET    /jobs/<id>/result  results (``?wait=SECONDS`` to block)
+    GET    /jobs/<id>/events  NDJSON progress stream (SSE on Accept)
+    DELETE /jobs/<id>         cancel
+    GET    /healthz           liveness
+    GET    /stats             manager + store counters
+
+Submissions are JSON. A fully cache-satisfied job answers 201 with
+``state == "done"`` immediately; a full queue answers 429 with a
+``Retry-After`` header. The events endpoint replies NDJSON
+(``application/x-ndjson``) by default and Server-Sent Events when the
+client sends ``Accept: text/event-stream``; both stream until the job
+reaches a terminal state. Responses are HTTP/1.0 close-delimited,
+which keeps streaming trivially correct for every client.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.codec import CodecError, points_from_wire, result_to_dict
+from repro.service.jobs import Job
+from repro.service.manager import (
+    JobManager,
+    QueueFullError,
+    UnknownJobError,
+)
+
+
+class ApiError(Exception):
+    """An error with an HTTP status, rendered as a JSON body."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+def _job_result_payload(job: Job) -> dict:
+    return {
+        "id": job.id,
+        "state": job.state,
+        "results": {
+            label: result_to_dict(result)
+            for label, result in job.results.items()
+        },
+        "failures": {
+            status.label: status.error
+            for status in job.point_status.values()
+            if status.state in ("failed", "cancelled")
+        },
+    }
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the manager. ``server`` is the holder."""
+
+    # Close-delimited responses; see the module docstring.
+    protocol_version = "HTTP/1.0"
+    #: Max accepted request body (a figure submission is ~kilobytes).
+    max_body_bytes = 4 * 1024 * 1024
+
+    @property
+    def manager(self) -> JobManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 -- stdlib name
+        quiet = getattr(self.server, "quiet", True)
+        if not quiet:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    # Plumbing.
+    # ------------------------------------------------------------------
+
+    def _send_json(self, payload, status: int = 200,
+                   retry_after: Optional[float] = None) -> None:
+        body = (json.dumps(payload) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(int(retry_after + 0.5)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ApiError(400, "missing JSON request body")
+        if length > self.max_body_bytes:
+            raise ApiError(413, "request body too large")
+        try:
+            data = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ApiError(400, f"bad JSON body: {exc}") from None
+        if not isinstance(data, dict):
+            raise ApiError(400, "request body must be a JSON object")
+        return data
+
+    def _route(self) -> Tuple[str, Optional[str], Optional[str], dict]:
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        query = {name: values[-1]
+                 for name, values in parse_qs(parsed.query).items()}
+        head = parts[0] if parts else ""
+        job_id = parts[1] if len(parts) > 1 else None
+        tail = parts[2] if len(parts) > 2 else None
+        if len(parts) > 3:
+            raise ApiError(404, f"no such resource: {parsed.path}")
+        return head, job_id, tail, query
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            head, job_id, tail, query = self._route()
+            handler = getattr(self, f"_{method}_{head or 'root'}", None)
+            if handler is None:
+                raise ApiError(404, f"no such resource: {self.path}")
+            handler(job_id, tail, query)
+        except ApiError as exc:
+            self._send_json({"error": str(exc)}, status=exc.status,
+                            retry_after=exc.retry_after)
+        except UnknownJobError as exc:
+            self._send_json({"error": f"unknown job {exc.args[0]!r}"},
+                            status=404)
+        except BrokenPipeError:
+            pass  # client went away mid-stream
+        except Exception as exc:  # noqa: BLE001 -- last-resort 500
+            try:
+                self._send_json({"error": f"internal error: {exc}"},
+                                status=500)
+            except Exception:  # noqa: BLE001 -- headers already sent
+                pass
+
+    def do_GET(self) -> None:  # noqa: N802 -- stdlib casing
+        """Route GET requests."""
+        self._dispatch("get")
+
+    def do_POST(self) -> None:  # noqa: N802
+        """Route POST requests."""
+        self._dispatch("post")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        """Route DELETE requests."""
+        self._dispatch("delete")
+
+    # ------------------------------------------------------------------
+    # Routes.
+    # ------------------------------------------------------------------
+
+    def _get_healthz(self, job_id, tail, query) -> None:
+        if job_id is not None:
+            raise ApiError(404, "no such resource")
+        self._send_json({"ok": True})
+
+    def _get_stats(self, job_id, tail, query) -> None:
+        if job_id is not None:
+            raise ApiError(404, "no such resource")
+        self._send_json(self.manager.stats())
+
+    def _post_jobs(self, job_id, tail, query) -> None:
+        if job_id is not None:
+            raise ApiError(404, "POST only to /jobs")
+        body = self._read_json()
+        tenant = str(body.get("tenant") or "default")
+        name = str(body.get("name") or body.get("figure") or "job")
+        try:
+            points = self._points_from_body(body)
+        except CodecError as exc:
+            raise ApiError(400, str(exc)) from None
+        try:
+            job = self.manager.submit(points, tenant=tenant, name=name)
+        except QueueFullError as exc:
+            raise ApiError(429, str(exc),
+                           retry_after=exc.retry_after) from None
+        self._send_json(job.to_dict(), status=201)
+
+    def _points_from_body(self, body: dict):
+        if "figure" in body:
+            from repro.orchestrator import figure_sweep
+            subset = body.get("subset")
+            if subset is not None and not isinstance(subset, list):
+                raise CodecError("'subset' must be a list of benchmarks")
+            try:
+                sweep = figure_sweep(str(body["figure"]),
+                                     self.manager.runner, subset)
+            except KeyError as exc:
+                raise CodecError(str(exc.args[0])) from None
+            if not len(sweep):
+                raise CodecError(
+                    f"figure {body['figure']!r} has no sweepable points"
+                )
+            return [(point.label, point.key) for point in sweep]
+        if "points" in body:
+            return points_from_wire(body["points"])
+        if "point" in body:
+            return points_from_wire([body["point"]])
+        raise CodecError(
+            "submission needs 'points', 'point' or 'figure'"
+        )
+
+    def _get_jobs(self, job_id, tail, query) -> None:
+        if job_id is None:
+            self._send_json({
+                "jobs": [job.to_dict(include_points=False)
+                         for job in self.manager.jobs()],
+            })
+            return
+        job = self.manager.get(job_id)
+        if tail is None:
+            self._send_json(job.to_dict())
+        elif tail == "result":
+            self._get_job_result(job, query)
+        elif tail == "events":
+            self._stream_events(job, query)
+        else:
+            raise ApiError(404, f"no such resource: {self.path}")
+
+    def _get_job_result(self, job: Job, query: dict) -> None:
+        wait = query.get("wait")
+        if wait is not None:
+            try:
+                job.wait(timeout=float(wait))
+            except ValueError:
+                raise ApiError(400, "'wait' must be seconds") from None
+        if not job.terminal:
+            raise ApiError(409, f"job {job.id} is {job.state}; "
+                                "stream /events or retry with ?wait=")
+        self._send_json(_job_result_payload(job))
+
+    def _stream_events(self, job: Job, query: dict) -> None:
+        try:
+            since = int(query.get("since", 0))
+        except ValueError:
+            raise ApiError(400, "'since' must be an integer") from None
+        accept = self.headers.get("Accept", "")
+        sse = "text/event-stream" in accept
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/event-stream" if sse
+                         else "application/x-ndjson")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        timeout = None
+        if "timeout" in query:
+            try:
+                timeout = float(query["timeout"])
+            except ValueError:
+                timeout = 60.0
+        for event in job.events.follow(since=since, timeout=timeout):
+            line = json.dumps(event)
+            if sse:
+                payload = f"data: {line}\n\n"
+            else:
+                payload = line + "\n"
+            self.wfile.write(payload.encode())
+            self.wfile.flush()
+
+    def _delete_jobs(self, job_id, tail, query) -> None:
+        if job_id is None or tail is not None:
+            raise ApiError(404, "DELETE /jobs/<id>")
+        cancelled = self.manager.cancel(job_id)
+        job = self.manager.get(job_id)
+        self._send_json({"id": job.id, "state": job.state,
+                         "cancelled": cancelled})
+
+
+class ServiceServer:
+    """Owns the HTTP server + manager pair; start/stop convenience."""
+
+    def __init__(self, manager: JobManager, host: str = "127.0.0.1",
+                 port: int = 0, quiet: bool = True) -> None:
+        self.manager = manager
+        self.httpd = ThreadingHTTPServer((host, port), ServiceHandler)
+        self.httpd.daemon_threads = True
+        self.httpd.manager = manager  # type: ignore[attr-defined]
+        self.httpd.quiet = quiet  # type: ignore[attr-defined]
+        self.host, self.port = self.httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceServer":
+        """Serve on a background thread (tests, embedded use)."""
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True,
+            name="repro-service-http",
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI ``repro serve`` path)."""
+        self.httpd.serve_forever()
+
+    def stop(self, shutdown_manager: bool = True) -> None:
+        """Stop serving; optionally wind the manager down too."""
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        if shutdown_manager:
+            self.manager.shutdown()

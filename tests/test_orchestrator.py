@@ -306,3 +306,169 @@ class TestProgressReporter:
         reporter.point_done("a", 0.5)
         line = reporter.status_line()
         assert "1/2" in line and "[t]" in line
+
+
+class TestProgressMath:
+    """Unit coverage for the derived-metric math on its own."""
+
+    def test_seconds_per_point_zero_when_nothing_executed(self):
+        reporter = ProgressReporter(stream=None)
+        reporter.start(total=3, workers=1)
+        reporter.cache_hit("a")  # cached points don't count as executed
+        assert reporter.seconds_per_point() == 0.0
+
+    def test_eta_none_before_first_executed_point(self):
+        reporter = ProgressReporter(stream=None)
+        reporter.start(total=3, workers=1)
+        assert reporter.eta_seconds() is None
+        reporter.cache_hit("a")
+        assert reporter.eta_seconds() is None  # still no rate signal
+
+    def test_eta_zero_once_done(self):
+        reporter = ProgressReporter(stream=None)
+        reporter.start(total=1, workers=1)
+        reporter.point_done("a", 2.0)
+        assert reporter.eta_seconds() == 0.0
+
+    def test_eta_scales_with_rate_and_workers(self):
+        reporter = ProgressReporter(stream=None)
+        reporter.start(total=5, workers=2)
+        reporter.point_done("a", 4.0)
+        # 4 remaining at 4 s/point over 2 workers = 8 seconds.
+        assert reporter.eta_seconds() == pytest.approx(8.0)
+
+    def test_utilization_zero_at_zero_wall(self):
+        reporter = ProgressReporter(stream=None)
+        reporter.start(total=2, workers=2)
+        # No wall-clock has elapsed yet (and nothing executed):
+        # utilization must be 0.0, not a ZeroDivisionError.
+        assert reporter.utilization() == 0.0
+
+    def test_utilization_bounded_by_one(self):
+        reporter = ProgressReporter(stream=None)
+        reporter.start(total=4, workers=1)
+        time.sleep(0.01)
+        reporter.point_done("a", 100.0)  # busy time >> wall time
+        assert reporter.utilization() == 1.0
+
+    def test_failed_points_count_toward_done(self):
+        reporter = ProgressReporter(stream=None)
+        reporter.start(total=2, workers=1)
+        reporter.point_failed("a", "boom")
+        reporter.point_done("b", 1.0)
+        assert reporter.done == 2
+        assert reporter.failed == 1
+        assert reporter.eta_seconds() == 0.0
+
+
+class TestProgressEvents:
+    """The structured on_event hook the service layer streams from."""
+
+    def collect(self):
+        events = []
+        reporter = ProgressReporter(stream=None, on_event=events.append)
+        return reporter, events
+
+    def test_event_sequence_for_a_sweep(self):
+        reporter, events = self.collect()
+        reporter.start(total=3, workers=2)
+        reporter.cache_hit("a")
+        reporter.point_done("b", 1.5)
+        reporter.point_failed("c", "boom")
+        reporter.finish()
+        assert [e["type"] for e in events] == [
+            "start", "cache_hit", "point_done", "point_failed", "finish",
+        ]
+
+    def test_events_carry_counters_and_metrics(self):
+        reporter, events = self.collect()
+        reporter.start(total=2, workers=1)
+        reporter.point_done("a", 2.0)
+        event = events[-1]
+        assert event["point"] == "a"
+        assert event["elapsed"] == pytest.approx(2.0)
+        assert event["done"] == 1 and event["total"] == 2
+        assert event["executed"] == 1
+        assert event["seconds_per_point"] == pytest.approx(2.0)
+        assert event["eta_seconds"] == pytest.approx(2.0)
+        assert 0.0 <= event["utilization"] <= 1.0
+
+    def test_retry_and_note_events(self):
+        reporter, events = self.collect()
+        reporter.start(total=1, workers=1)
+        reporter.point_retried("a", "timed out", attempt=2)
+        reporter.note("pool rebuilt")
+        retried = events[1]
+        assert retried["type"] == "point_retried"
+        assert retried["reason"] == "timed out"
+        assert retried["attempt"] == 2
+        assert events[2]["type"] == "note"
+        assert events[2]["message"] == "pool rebuilt"
+
+    def test_multiple_listeners_all_fire(self):
+        first, second = [], []
+        reporter = ProgressReporter(stream=None, on_event=first.append)
+        reporter.on_event(second.append)
+        reporter.start(total=1, workers=1)
+        assert len(first) == len(second) == 1
+
+    def test_broken_listener_does_not_break_progress(self):
+        def explode(event):
+            raise RuntimeError("listener bug")
+        reporter = ProgressReporter(stream=None, on_event=explode)
+        reporter.start(total=1, workers=1)
+        reporter.point_done("a", 1.0)  # must not raise
+        assert reporter.done == 1
+
+
+class TestCancellation:
+    """The orchestrator's cooperative stop event (service cancel path)."""
+
+    def test_inline_stop_between_points(self):
+        import threading
+        runner = make_runner()
+        stop = threading.Event()
+
+        calls = []
+
+        def task(key):
+            calls.append(key)
+            stop.set()  # request cancellation after the first point
+            return _dummy_result()
+
+        orchestrator = SweepOrchestrator(runner, workers=1,
+                                         task_fn=task)
+        orchestrator.stop = stop
+        report = orchestrator.run(tiny_sweep())
+        assert report.cancelled
+        assert len(calls) == 1
+        assert len(report.results) == 1
+        assert "CANCELLED" in report.summary()
+
+    def test_pool_stop_kills_workers(self):
+        import threading
+        runner = make_runner()
+        stop = threading.Event()
+        orchestrator = SweepOrchestrator(runner, workers=2,
+                                         task_fn=_slow_task, stop=stop)
+        sweep = Sweep.of("stuck", [RunKey("AN")])  # sleeps 60s in pool
+
+        began = time.monotonic()
+        thread = threading.Thread(
+            target=lambda: setattr(self, "report", orchestrator.run(sweep))
+        )
+        thread.start()
+        time.sleep(1.0)
+        stop.set()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert time.monotonic() - began < 30
+        assert self.report.cancelled
+        assert not self.report.results
+
+    def test_unset_stop_changes_nothing(self):
+        runner = make_runner()
+        orchestrator = SweepOrchestrator(runner, workers=1)
+        report = orchestrator.run(tiny_sweep())
+        assert not report.cancelled
+        assert len(report.results) == len(tiny_sweep())

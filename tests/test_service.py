@@ -1,0 +1,593 @@
+"""Service-layer tests: dedup, backpressure, streaming, cancellation.
+
+The acceptance spine of the service PR lives here:
+
+* N concurrent clients submitting the same point cause exactly ONE
+  simulation while all N receive the identical RunResult;
+* a full queue rejects with 429 + Retry-After (QueueFullError at the
+  manager level);
+* killing a job mid-run leaves the store consistent -- no partial
+  entries, and the stale ``*.tmp`` strandings of SIGKILLed workers are
+  swept by gc.
+"""
+
+import dataclasses
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.config.presets import small_config
+from repro.config.topology import Architecture, ReplicationPolicy
+from repro.core.system import RunResult
+from repro.experiments.runner import ExperimentRunner, RunKey
+from repro.experiments.store import ResultStore
+from repro.power.energy import EnergyBreakdown
+from repro.service import (
+    CodecError,
+    EventLog,
+    JobManager,
+    QueueFullError,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    UnknownJobError,
+    points_from_wire,
+    runkey_from_dict,
+    runkey_to_dict,
+)
+
+
+def tiny_gpu():
+    return small_config(num_channels=2, warps_per_sm=4)
+
+
+def make_runner(tmp_path=None):
+    store = ResultStore(tmp_path) if tmp_path is not None else None
+    return ExperimentRunner(base_gpu=tiny_gpu(), store=store)
+
+
+def _dummy_result() -> RunResult:
+    return RunResult("dummy", 7, 1, 1, 0.0, 0.0, 0.0, 0, 0, 0,
+                     EnergyBreakdown(0.0, 0.0, 0.0, 0.0, 0.0), {})
+
+
+# Module-level gate/counter for in-flight coalescing tests. The gated
+# task blocks every execution until the test releases it, guaranteeing
+# later submissions arrive while the first is still in flight.
+_GATE = threading.Event()
+_CALLS = []
+_CALL_LOCK = threading.Lock()
+
+
+def _gated_task(key: RunKey) -> RunResult:
+    with _CALL_LOCK:
+        _CALLS.append(key)
+    assert _GATE.wait(20), "test forgot to release the gate"
+    return _dummy_result()
+
+
+def _pool_sleep_task(key: RunKey) -> RunResult:
+    """Pool-mode task that outlives any test: must die by pool kill."""
+    time.sleep(60)
+    return _dummy_result()
+
+
+def _failing_task(key: RunKey) -> RunResult:
+    raise ValueError("injected service fault")
+
+
+@pytest.fixture(autouse=True)
+def _reset_gate():
+    _GATE.clear()
+    del _CALLS[:]
+    yield
+    _GATE.set()  # unstick any worker still waiting
+
+
+@pytest.fixture
+def manager_factory():
+    managers = []
+
+    def build(runner, **kwargs):
+        kwargs.setdefault("backoff", 0.0)
+        manager = JobManager(runner, **kwargs)
+        managers.append(manager)
+        return manager
+
+    yield build
+    _GATE.set()
+    for manager in managers:
+        manager.shutdown(cancel_running=True)
+
+
+@pytest.fixture
+def server_factory(manager_factory):
+    servers = []
+
+    def build(runner, **kwargs):
+        manager = manager_factory(runner, **kwargs)
+        server = ServiceServer(manager, port=0).start()
+        servers.append(server)
+        return server
+
+    yield build
+    for server in servers:
+        server.stop(shutdown_manager=False)
+
+
+class TestCodec:
+    def test_round_trip(self):
+        key = RunKey("AN", Architecture.NUBA,
+                     replication=ReplicationPolicy.MDR, noc_gbps=700.0)
+        assert runkey_from_dict(runkey_to_dict(key)) == key
+
+    def test_architecture_aliases(self):
+        key = runkey_from_dict({"benchmark": "AN", "architecture": "uba"})
+        assert key.architecture is Architecture.MEM_SIDE_UBA
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(CodecError, match="unknown RunKey field"):
+            runkey_from_dict({"benchmark": "AN", "bogus": 1})
+
+    def test_bad_enum_value_rejected(self):
+        with pytest.raises(CodecError, match="bad replication"):
+            runkey_from_dict({"benchmark": "AN", "replication": "xerox"})
+
+    def test_missing_benchmark_rejected(self):
+        with pytest.raises(CodecError, match="missing 'benchmark'"):
+            runkey_from_dict({"architecture": "nuba"})
+
+    def test_points_from_wire_labels(self):
+        points = points_from_wire([
+            {"benchmark": "AN", "label": "mine"},
+            {"benchmark": "KMEANS"},
+        ])
+        assert points[0] == ("mine", RunKey("AN"))
+        assert points[1][0] is None
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(CodecError, match="must not be empty"):
+            points_from_wire([])
+
+
+class TestEventLog:
+    def test_append_stamps_seq_and_snapshot(self):
+        log = EventLog()
+        log.append({"type": "a"})
+        log.append({"type": "b"})
+        events = log.snapshot()
+        assert [e["seq"] for e in events] == [0, 1]
+        assert log.snapshot(since=1)[0]["type"] == "b"
+
+    def test_follow_drains_then_stops_on_close(self):
+        log = EventLog()
+        log.append({"type": "a"})
+        seen = []
+
+        def consume():
+            for event in log.follow():
+                seen.append(event["type"])
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        time.sleep(0.1)
+        log.append({"type": "b"})
+        log.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert seen == ["a", "b"]
+
+    def test_follow_timeout_bounds_wait(self):
+        log = EventLog()
+        begun = time.monotonic()
+        assert list(log.follow(timeout=0.2)) == []
+        assert time.monotonic() - begun < 5.0
+
+
+class TestManagerBasics:
+    def test_submit_executes_and_delivers(self, manager_factory):
+        runner = make_runner()
+        manager = manager_factory(runner, workers=1)
+        job = manager.submit([(None, RunKey("KMEANS"))])
+        manager.wait(job.id, timeout=60)
+        assert job.state == "done"
+        assert runner.simulations_run == 1
+        (result,) = job.results.values()
+        assert result.cycles > 0
+        states = [s.state for s in job.point_status.values()]
+        assert states == ["done"]
+
+    def test_second_job_is_cache_hit(self, manager_factory):
+        runner = make_runner()
+        manager = manager_factory(runner, workers=1)
+        first = manager.submit([(None, RunKey("KMEANS"))])
+        manager.wait(first.id, timeout=60)
+        second = manager.submit([(None, RunKey("KMEANS"))])
+        assert second.state == "done"  # resolved at submission time
+        assert [s.state for s in second.point_status.values()] == ["cached"]
+        assert runner.simulations_run == 1
+        assert dataclasses.asdict(next(iter(second.results.values()))) \
+            == dataclasses.asdict(next(iter(first.results.values())))
+
+    def test_failed_point_fails_job_with_error(self, manager_factory):
+        runner = make_runner()
+        manager = manager_factory(runner, workers=1, retries=0,
+                                  task_fn=_failing_task)
+        job = manager.submit([("p", RunKey("KMEANS"))])
+        manager.wait(job.id, timeout=60)
+        assert job.state == "failed"
+        assert "injected service fault" in job.point_status["p"].error
+
+    def test_unknown_job_raises(self, manager_factory):
+        manager = manager_factory(make_runner(), workers=1)
+        with pytest.raises(UnknownJobError):
+            manager.get("job-nope")
+
+    def test_duplicate_points_in_one_job_run_once(self, manager_factory):
+        runner = make_runner()
+        manager = manager_factory(runner, workers=1)
+        key = RunKey("KMEANS")
+        job = manager.submit([("a", key), ("b", key)])
+        manager.wait(job.id, timeout=60)
+        assert job.state == "done"
+        assert runner.simulations_run == 1
+        assert set(job.results) == {"a", "b"}
+        assert dataclasses.asdict(job.results["a"]) == \
+            dataclasses.asdict(job.results["b"])
+
+
+class TestDedupProof:
+    """The acceptance criterion: N clients, one simulation."""
+
+    N = 6
+
+    def test_concurrent_clients_one_simulation(self, server_factory):
+        runner = make_runner()
+        server = server_factory(runner, workers=2, queue_limit=16)
+        key = RunKey("KMEANS", Architecture.NUBA,
+                     replication=ReplicationPolicy.MDR)
+        outcomes = [None] * self.N
+        barrier = threading.Barrier(self.N)
+
+        def client_thread(index: int) -> None:
+            client = ServiceClient(server.url)
+            barrier.wait(timeout=10)
+            job = client.submit(points=[("p", key)])
+            outcomes[index] = client.result(job["id"], wait=60.0)
+
+        threads = [threading.Thread(target=client_thread, args=(i,))
+                   for i in range(self.N)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not any(thread.is_alive() for thread in threads)
+
+        # Exactly one simulation ran...
+        assert runner.simulations_run == 1
+        # ...and every client got the identical RunResult.
+        assert all(outcome is not None for outcome in outcomes)
+        payloads = [outcome["results"]["p"] for outcome in outcomes]
+        assert all(payload == payloads[0] for payload in payloads)
+        assert all(outcome["state"] == "done" for outcome in outcomes)
+        counters = server.manager.counters
+        assert counters["points_executed"] == 1
+        assert (counters["points_coalesced"]
+                + counters["points_cached"]) == self.N - 1
+
+    def test_inflight_submissions_coalesce(self, manager_factory):
+        """With the execution gated, later submissions MUST coalesce
+        (not cache-hit): one task call, N subscribers."""
+        runner = make_runner()
+        manager = manager_factory(runner, workers=2,
+                                  task_fn=_gated_task)
+        key = RunKey("AN")
+        first = manager.submit([(None, key)], tenant="t1")
+        # Wait until the gated task actually holds the worker.
+        deadline = time.monotonic() + 10
+        while not _CALLS and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert _CALLS, "execution never started"
+        others = [manager.submit([(None, key)], tenant=f"t{i}")
+                  for i in range(2, 5)]
+        assert all(
+            [s.state for s in job.point_status.values()] == ["coalesced"]
+            for job in others
+        )
+        _GATE.set()
+        for job in [first] + others:
+            manager.wait(job.id, timeout=60)
+            assert job.state == "done"
+        assert len(_CALLS) == 1
+        assert manager.counters["points_coalesced"] == 3
+        results = [dataclasses.asdict(next(iter(job.results.values())))
+                   for job in [first] + others]
+        assert all(result == results[0] for result in results)
+
+
+class TestBackpressure:
+    def test_queue_full_raises_manager_level(self, manager_factory):
+        manager = manager_factory(make_runner(), workers=1,
+                                  queue_limit=1, task_fn=_gated_task)
+        running = manager.submit([(None, RunKey("AN"))])
+        deadline = time.monotonic() + 10
+        while not _CALLS and time.monotonic() < deadline:
+            time.sleep(0.01)
+        queued = manager.submit([(None, RunKey("KMEANS"))])
+        with pytest.raises(QueueFullError) as excinfo:
+            manager.submit([(None, RunKey("2MM"))])
+        assert excinfo.value.retry_after >= 1.0
+        assert manager.counters["jobs_rejected"] == 1
+        _GATE.set()
+        for job in (running, queued):
+            manager.wait(job.id, timeout=60)
+            assert job.state == "done"
+
+    def test_queue_full_is_http_429_with_retry_after(self,
+                                                     server_factory):
+        server = server_factory(make_runner(), workers=1,
+                                queue_limit=1, task_fn=_gated_task)
+        client = ServiceClient(server.url)
+        client.submit(points=[(None, RunKey("AN"))])
+        deadline = time.monotonic() + 10
+        while not _CALLS and time.monotonic() < deadline:
+            time.sleep(0.01)
+        client.submit(points=[(None, RunKey("KMEANS"))])
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(points=[(None, RunKey("2MM"))])
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after >= 1.0
+        _GATE.set()
+
+    def test_rejected_submission_enqueues_nothing(self, manager_factory):
+        manager = manager_factory(make_runner(), workers=1,
+                                  queue_limit=1, task_fn=_gated_task)
+        manager.submit([(None, RunKey("AN"))])
+        deadline = time.monotonic() + 10
+        while not _CALLS and time.monotonic() < deadline:
+            time.sleep(0.01)
+        # A two-point job over the limit must be rejected atomically.
+        with pytest.raises(QueueFullError):
+            manager.submit([(None, RunKey("KMEANS")),
+                            (None, RunKey("2MM"))])
+        assert manager.stats()["queue_depth"] == 0
+        _GATE.set()
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, manager_factory):
+        manager = manager_factory(make_runner(), workers=1,
+                                  queue_limit=8, task_fn=_gated_task)
+        blocker = manager.submit([(None, RunKey("AN"))])
+        deadline = time.monotonic() + 10
+        while not _CALLS and time.monotonic() < deadline:
+            time.sleep(0.01)
+        victim = manager.submit([(None, RunKey("KMEANS"))])
+        assert manager.cancel(victim.id)
+        assert victim.state == "cancelled"
+        assert manager.stats()["queue_depth"] == 0
+        _GATE.set()
+        manager.wait(blocker.id, timeout=60)
+        assert blocker.state == "done"
+        # Only the blocker's task ever ran.
+        assert len(_CALLS) == 1
+
+    def test_cancel_mid_run_leaves_store_consistent(self, manager_factory,
+                                                    tmp_path):
+        """Acceptance: a killed mid-run job must not corrupt the store.
+
+        sim_workers=2 puts the execution on a real process pool, so
+        cancellation kills a live worker process -- the harshest path.
+        """
+        runner = make_runner(tmp_path)
+        manager = manager_factory(runner, workers=1, sim_workers=2,
+                                  task_fn=_pool_sleep_task)
+        job = manager.submit([(None, RunKey("KMEANS"))])
+        deadline = time.monotonic() + 30
+        while job.state != "running" and time.monotonic() < deadline:
+            with manager._lock:
+                running = any(s.state == "running"
+                              for s in job.point_status.values())
+            if running:
+                break
+            time.sleep(0.05)
+        assert manager.cancel(job.id)
+        manager.wait(job.id, timeout=60)
+        assert job.state == "cancelled"
+        assert not job.results
+        # Store consistency: every entry (if any) is complete JSON,
+        # and the cancelled point was never half-written.
+        for path in tmp_path.glob("*.json"):
+            json.loads(path.read_text())  # must not raise
+        assert runner.lookup(RunKey("KMEANS")) is None
+
+        # A SIGKILLed worker's stranded temporary is swept by gc.
+        stranded = tmp_path / "KMEANS_x.deadbeef.tmp"
+        stranded.write_text('{"partial":')
+        outcome = runner.store.gc()
+        assert stranded.exists()  # still inside the grace period
+        import os
+        old = time.time() - 3600
+        os.utime(stranded, (old, old))
+        outcome = runner.store.gc()
+        assert outcome["tmp_swept"] == 1
+        assert not stranded.exists()
+
+    def test_cancel_spares_point_other_jobs_want(self, manager_factory):
+        manager = manager_factory(make_runner(), workers=1,
+                                  task_fn=_gated_task)
+        key = RunKey("AN")
+        keeper = manager.submit([(None, key)], tenant="keeper")
+        deadline = time.monotonic() + 10
+        while not _CALLS and time.monotonic() < deadline:
+            time.sleep(0.01)
+        quitter = manager.submit([(None, key)], tenant="quitter")
+        assert manager.cancel(quitter.id)
+        assert quitter.state == "cancelled"
+        _GATE.set()
+        manager.wait(keeper.id, timeout=60)
+        # The shared execution survived the quitter's cancellation.
+        assert keeper.state == "done"
+        assert len(_CALLS) == 1
+
+
+class TestTenantBounds:
+    def test_one_tenant_cannot_hog_all_workers(self, manager_factory):
+        manager = manager_factory(make_runner(), workers=2, per_tenant=1,
+                                  queue_limit=8, task_fn=_gated_task)
+        # Tenant A floods first; tenant B arrives second but must still
+        # get a worker because A is capped at one.
+        manager.submit([(None, RunKey("AN"))], tenant="a")
+        manager.submit([(None, RunKey("KMEANS"))], tenant="a")
+        manager.submit([(None, RunKey("2MM"))], tenant="b")
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            with manager._lock:
+                by_tenant = dict(manager._tenant_running)
+            if by_tenant.get("b"):
+                break
+            time.sleep(0.02)
+        assert by_tenant.get("a", 0) == 1
+        assert by_tenant.get("b", 0) == 1
+        _GATE.set()
+
+
+class TestHttpSurface:
+    def test_healthz_and_stats(self, server_factory):
+        server = server_factory(make_runner(), workers=1)
+        client = ServiceClient(server.url)
+        assert client.healthz() == {"ok": True}
+        stats = client.stats()
+        assert stats["workers"] == 1
+        assert "counters" in stats
+
+    def test_job_lifecycle_over_http(self, server_factory):
+        runner = make_runner()
+        server = server_factory(runner, workers=1)
+        client = ServiceClient(server.url)
+        job = client.submit(points=[("mine", RunKey("KMEANS"))],
+                            name="smoke")
+        assert job["state"] in ("queued", "running", "done")
+        events = list(client.events(job["id"]))
+        types = [event["type"] for event in events]
+        assert types[0] == "start"
+        assert "point_done" in types
+        assert types[-1] == "job"
+        done = [e for e in events if e["type"] == "point_done"]
+        assert done[0]["point"] == "mine"
+        assert done[0]["eta_seconds"] == 0.0
+        payload = client.result(job["id"])
+        assert payload["state"] == "done"
+        assert payload["results"]["mine"]["cycles"] > 0
+        status = client.job(job["id"])
+        assert status["state"] == "done"
+        assert status["points"][0]["state"] == "done"
+        assert client.jobs()[0]["id"] == job["id"]
+
+    def test_sse_content_type(self, server_factory):
+        runner = make_runner()
+        server = server_factory(runner, workers=1)
+        client = ServiceClient(server.url)
+        job = client.submit(points=[(None, RunKey("KMEANS"))])
+        client.result(job["id"], wait=60.0)
+        request = urllib.request.Request(
+            f"{server.url}/jobs/{job['id']}/events",
+            headers={"Accept": "text/event-stream"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.headers["Content-Type"] == "text/event-stream"
+            body = response.read().decode()
+        lines = [line for line in body.splitlines() if line]
+        assert all(line.startswith("data: ") for line in lines)
+        assert json.loads(lines[0][len("data: "):])["type"] == "start"
+
+    def test_result_before_done_is_409(self, server_factory):
+        server = server_factory(make_runner(), workers=1,
+                                task_fn=_gated_task)
+        client = ServiceClient(server.url)
+        job = client.submit(points=[(None, RunKey("AN"))])
+        with pytest.raises(ServiceError) as excinfo:
+            client.result(job["id"])
+        assert excinfo.value.status == 409
+        _GATE.set()
+
+    def test_figure_submission_expands_points(self, server_factory):
+        runner = make_runner()
+        server = server_factory(runner, workers=2, queue_limit=64)
+        client = ServiceClient(server.url)
+        job = client.submit(figure="fig13", subset=["KMEANS"])
+        assert job["points_total"] == 2  # uba + nuba per benchmark
+        payload = client.result(job["id"], wait=120.0)
+        assert payload["state"] == "done"
+        assert set(payload["results"]) == {"KMEANS/uba", "KMEANS/nuba"}
+
+    def test_cancel_over_http(self, server_factory):
+        server = server_factory(make_runner(), workers=1,
+                                task_fn=_gated_task)
+        client = ServiceClient(server.url)
+        blocker = client.submit(points=[(None, RunKey("AN"))])
+        victim = client.submit(points=[(None, RunKey("KMEANS"))])
+        outcome = client.cancel(victim["id"])
+        assert outcome["state"] == "cancelled"
+        _GATE.set()
+        assert client.result(blocker["id"], wait=60.0)["state"] == "done"
+
+    def test_unknown_job_is_404(self, server_factory):
+        server = server_factory(make_runner(), workers=1)
+        client = ServiceClient(server.url)
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("job-nope")
+        assert excinfo.value.status == 404
+
+    def test_bad_submission_is_400(self, server_factory):
+        server = server_factory(make_runner(), workers=1)
+        client = ServiceClient(server.url)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/jobs", body={"points": [
+                {"benchmark": "AN", "bogus": True},
+            ]})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/jobs", body={})
+        assert excinfo.value.status == 400
+
+    def test_unknown_route_is_404(self, server_factory):
+        server = server_factory(make_runner(), workers=1)
+        client = ServiceClient(server.url)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+
+class TestStoreIntegration:
+    def test_results_persist_across_managers(self, manager_factory,
+                                             tmp_path):
+        first_runner = make_runner(tmp_path)
+        first = manager_factory(first_runner, workers=1)
+        job = first.submit([(None, RunKey("KMEANS"))])
+        first.wait(job.id, timeout=60)
+        assert first_runner.simulations_run == 1
+
+        second_runner = make_runner(tmp_path)
+        second = manager_factory(second_runner, workers=1)
+        rerun = second.submit([(None, RunKey("KMEANS"))])
+        assert rerun.state == "done"  # straight from the store
+        assert second_runner.simulations_run == 0
+
+    def test_maintenance_applies_ttl_policy(self, manager_factory,
+                                            tmp_path):
+        import os
+        runner = make_runner(tmp_path)
+        manager = manager_factory(runner, workers=1,
+                                  store_ttl_seconds=3600.0)
+        job = manager.submit([(None, RunKey("KMEANS"))])
+        manager.wait(job.id, timeout=60)
+        entry = next(tmp_path.glob("*.json"))
+        old = time.time() - 7200
+        os.utime(entry, (old, old))
+        outcome = manager.maintain()
+        assert outcome["evicted"] == 1
+        assert not list(tmp_path.glob("*.json"))

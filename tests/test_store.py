@@ -196,3 +196,108 @@ class TestRunnerStoreIntegration:
         system_b, _ = runner.run_system(key)
         assert system_a is system_b
         assert runner.simulations_run == 1
+
+
+class TestMaintenance:
+    """stats/gc/sweep_tmp: the service-era upkeep surface."""
+
+    def _seed(self, runner, tmp_path, *benches):
+        store = ResultStore(tmp_path)
+        for bench in benches:
+            key = RunKey(bench)
+            store.save(key, runner.run(key))
+        return store
+
+    def test_stats_counts_entries_and_bytes(self, runner, tmp_path):
+        store = self._seed(runner, tmp_path, "KMEANS", "AN")
+        store.load(RunKey("KMEANS"))
+        store.load(RunKey("HISTO"))  # miss
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["bytes"] > 0
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["evictions"] == 0
+
+    def test_gc_ttl_evicts_only_old_entries(self, runner, tmp_path):
+        import os
+        import time as _time
+        store = self._seed(runner, tmp_path, "KMEANS", "AN")
+        old = _time.time() - 7200
+        victim = next(tmp_path.glob("KMEANS*.json"))
+        os.utime(victim, (old, old))
+        outcome = store.gc(max_age_seconds=3600)
+        assert outcome["evicted"] == 1
+        assert outcome["entries"] == 1
+        assert not victim.exists()
+        assert store.evictions == 1
+        assert store.load(RunKey("AN")) is not None
+
+    def test_gc_lru_bound_keeps_recently_used(self, runner, tmp_path):
+        import os
+        import time as _time
+        store = self._seed(runner, tmp_path, "KMEANS", "AN", "2MM")
+        # Age all entries, then touch KMEANS through a load hit -- the
+        # hit must bump its mtime so LRU eviction spares it.
+        base = _time.time() - 1000
+        for index, path in enumerate(sorted(tmp_path.glob("*.json"))):
+            os.utime(path, (base + index, base + index))
+        assert store.load(RunKey("KMEANS")) is not None
+        outcome = store.gc(max_entries=1)
+        assert outcome["evicted"] == 2
+        assert store.load(RunKey("KMEANS")) is not None
+        assert len(store) == 1
+
+    def test_entries_lists_lru_first(self, runner, tmp_path):
+        import os
+        import time as _time
+        store = self._seed(runner, tmp_path, "KMEANS", "AN")
+        old = _time.time() - 500
+        target = next(tmp_path.glob("AN*.json"))
+        os.utime(target, (old, old))
+        listing = store.entries()
+        assert [len(listing), listing[0]["name"].startswith("AN")] \
+            == [2, True]
+        assert listing[0]["idle_seconds"] > listing[1]["idle_seconds"]
+
+    def test_stale_tmp_swept_on_open(self, tmp_path):
+        import os
+        import time as _time
+        stale = tmp_path / "KMEANS_x.deadbeef.tmp"
+        stale.write_text('{"partial":')
+        old = _time.time() - 3600
+        os.utime(stale, (old, old))
+        fresh = tmp_path / "AN_x.cafe.tmp"
+        fresh.write_text('{"writing":')
+        ResultStore(tmp_path)  # open sweeps stale temporaries
+        assert not stale.exists()
+        assert fresh.exists()  # inside the grace period: a live write
+
+    def test_gc_sweeps_stale_tmp(self, tmp_path):
+        import os
+        import time as _time
+        store = ResultStore(tmp_path)
+        stale = tmp_path / "KMEANS_x.beef.tmp"
+        stale.write_text("{")
+        old = _time.time() - 3600
+        os.utime(stale, (old, old))
+        outcome = store.gc()
+        assert outcome["tmp_swept"] == 1
+        assert not stale.exists()
+
+    def test_clear_sweeps_tmp_regardless_of_age(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fresh = tmp_path / "AN_x.cafe.tmp"
+        fresh.write_text("{")
+        store.clear()
+        assert not fresh.exists()
+
+    def test_load_hit_bumps_mtime(self, runner, tmp_path):
+        import os
+        import time as _time
+        store = self._seed(runner, tmp_path, "KMEANS")
+        path = next(tmp_path.glob("*.json"))
+        old = _time.time() - 900
+        os.utime(path, (old, old))
+        assert store.load(RunKey("KMEANS")) is not None
+        assert _time.time() - path.stat().st_mtime < 60
