@@ -9,9 +9,12 @@ Subcommands::
     python -m repro compare --bench KMEANS   # UBA vs NUBA side by side
     python -m repro figure fig7 [--subset KMEANS AN ...] [--workers 4]
     python -m repro sweep fig7 fig10 --workers 4 --store results/
+    python -m repro sweep fig7 --shard 0/2 --store shared/  # one of N hosts
+    python -m repro sweep fig7 --backend remote --endpoint http://host:8000
     python -m repro bench-perf [--quick] [--update-baseline]
     python -m repro report --out report.md [--workers 4]
     python -m repro serve --port 8000 --store results/ --workers 4
+    python -m repro worker --connect http://host:8000   # claim-loop worker
     python -m repro submit --url http://host:8000 --bench KMEANS --wait
     python -m repro status --url http://host:8000 [JOB_ID]
     python -m repro fetch --url http://host:8000 JOB_ID
@@ -24,11 +27,20 @@ underlying simulation points out across a process pool (see
 docs/ORCHESTRATOR.md) and ``--store`` to persist results on disk so
 interrupted sweeps resume instead of restarting.
 
+Distributed sweeps (docs/ORCHESTRATOR.md): ``sweep --shard i/N`` makes
+this host deterministically claim shard ``i`` of the sweep's points --
+no coordinator, N hosts cover the key space exactly once; a final
+unsharded run merges/completes stragglers from the shared store.
+``sweep --backend remote --endpoint URL`` farms points out to one or
+more running services instead of local processes.
+
 Service (docs/SERVICE.md): ``serve`` boots the stdlib HTTP job API in
 front of the orchestrator -- jobs deduplicate against in-flight work
 and the result store, stream progress, and honour per-tenant bounds and
 queue backpressure. ``submit``/``status``/``fetch`` are thin clients
-for it, and ``store`` administers the content-addressed result cache.
+for it, ``worker`` runs the claim loop (pull-based execution on remote
+hardware; ``serve --workers 0`` makes the service a pure coordinator),
+and ``store`` administers the content-addressed result cache.
 
 Observability (docs/TRACING.md): ``run`` and the dedicated ``trace``
 subcommand accept ``--trace PATH`` (Chrome-trace JSON for Perfetto /
@@ -183,6 +195,21 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--channels", type=int, default=None)
     sweep.add_argument("--no-render", action="store_true",
                        help="only run the sweep; don't print figures")
+    sweep.add_argument("--shard", type=_shard_spec, default=None,
+                       metavar="I/N",
+                       help="claim shard I of N (coordinator-free: run "
+                            "the same command with 0/N..N-1/N on N "
+                            "hosts into one --store, then once "
+                            "unsharded to merge)")
+    sweep.add_argument("--backend", choices=["local", "remote"],
+                       default="local",
+                       help="where points execute: local processes "
+                            "(default) or remote 'repro serve' "
+                            "endpoints")
+    sweep.add_argument("--endpoint", action="append", default=None,
+                       metavar="URL",
+                       help="service endpoint for --backend remote "
+                            "(repeat for several)")
     _add_orchestrator_args(sweep)
 
     bench = sub.add_parser(
@@ -243,7 +270,9 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--channels", type=int, default=None,
                        help="simulate a smaller GPU (memory channels)")
     serve.add_argument("--workers", type=int, default=2,
-                       help="concurrent job executions (threads)")
+                       help="concurrent job executions (threads); 0 = "
+                            "pure coordinator, only 'repro worker' "
+                            "processes drain the queue")
     serve.add_argument("--per-tenant", type=int, default=None,
                        help="max concurrent executions per tenant "
                             "(default: all workers)")
@@ -261,8 +290,39 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="evict store entries idle longer than this")
     serve.add_argument("--max-entries", type=int, default=None,
                        help="LRU-bound the store to this many entries")
+    serve.add_argument("--claim-ttl", type=float, default=120.0,
+                       metavar="SECONDS",
+                       help="worker lease duration; an expired lease "
+                            "requeues the point (default 120)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
+
+    worker = sub.add_parser(
+        "worker",
+        help="claim and execute sweep points from a running service "
+             "(the pull-based claim loop; docs/SERVICE.md)",
+    )
+    worker.add_argument("--url", "--connect", dest="url",
+                        default="http://127.0.0.1:8000",
+                        help="service base URL to claim from")
+    worker.add_argument("--name", default=None,
+                        help="worker name shown in service stats "
+                             "(default host-pid)")
+    worker.add_argument("--channels", type=int, default=None,
+                        help="simulate a smaller GPU; MUST match the "
+                             "server's --channels")
+    worker.add_argument("--store", default=None, metavar="DIR",
+                        help="optional local result store (doubles as "
+                             "a cache for repeated points)")
+    worker.add_argument("--poll", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="idle poll interval (default 1s)")
+    worker.add_argument("--max-points", type=int, default=None,
+                        help="exit after executing this many points")
+    worker.add_argument("--idle-exit", type=float, default=None,
+                        metavar="SECONDS",
+                        help="exit after this long with nothing to "
+                             "claim (default: poll forever)")
 
     submit = sub.add_parser(
         "submit", help="submit a job to a running service",
@@ -332,6 +392,21 @@ def _add_observability_args(parser: argparse.ArgumentParser) -> None:
                         help="write a fixed-interval timeline CSV")
     parser.add_argument("--interval", type=int, default=500,
                         help="timeline sampling interval in cycles")
+
+
+def _shard_spec(text: str):
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard spec must look like i/N (e.g. 0/2), got {text!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise argparse.ArgumentTypeError(
+            f"bad shard {text!r}: need 0 <= i < N"
+        )
+    return index, count
 
 
 def _add_orchestrator_args(parser: argparse.ArgumentParser) -> None:
@@ -515,6 +590,25 @@ def _figure_subset(args) -> Optional[List[str]]:
     return DEFAULT_SUBSET
 
 
+def _sweep_backend(args):
+    """Build the executor backend the sweep flags ask for (or None)."""
+    backend_name = getattr(args, "backend", "local")
+    shard = getattr(args, "shard", None)
+    inner = None
+    if backend_name == "remote":
+        from repro.orchestrator import RemoteExecutor
+        endpoints = getattr(args, "endpoint", None)
+        if not endpoints:
+            raise SystemExit(
+                "sweep: --backend remote needs at least one --endpoint"
+            )
+        inner = RemoteExecutor(endpoints)
+    if shard is not None:
+        from repro.orchestrator import ShardedExecutor
+        return ShardedExecutor(shard[0], shard[1], inner)
+    return inner
+
+
 def _prewarm(runner: ExperimentRunner, names, subset, args) -> int:
     """Run the named figures' sweeps through the orchestrator; returns
     the number of permanently failed points."""
@@ -530,6 +624,7 @@ def _prewarm(runner: ExperimentRunner, names, subset, args) -> int:
     orchestrator = SweepOrchestrator(
         runner, workers=args.workers, timeout=args.timeout,
         progress=ProgressReporter(),
+        backend=_sweep_backend(args),
     )
     report = orchestrator.run(*sweeps)
     print(f"sweep: {report.summary()}", file=sys.stderr)
@@ -564,7 +659,20 @@ def _cmd_sweep(args) -> int:
     names = sorted(FIGURES) if "all" in args.names else list(
         dict.fromkeys(args.names)
     )
+    sharded = args.shard is not None and args.shard[1] > 1
+    if sharded and not args.no_render:
+        # Rendering needs every point; a shard deliberately only
+        # simulates its own subset, so rendering here would silently
+        # simulate the other shards' points inline.
+        print("sweep: --shard implies --no-render (merge by re-running "
+              "unsharded with the same --store)", file=sys.stderr)
+        args.no_render = True
     failed = _prewarm(runner, names, subset, args)
+    if sharded:
+        index, count = args.shard
+        print(f"sweep: shard {index}/{count} done; run the other "
+              f"shards, then re-run unsharded with the same --store "
+              f"to merge and complete stragglers", file=sys.stderr)
     if not args.no_render:
         sections = [FIGURES[name](runner, subset).render()
                     for name in names]
@@ -663,11 +771,15 @@ def _cmd_serve(args) -> int:
         retries=args.retries,
         store_ttl_seconds=args.ttl,
         store_max_entries=args.max_entries,
+        claim_ttl_seconds=args.claim_ttl,
     )
     server = ServiceServer(manager, host=args.host, port=args.port,
                            quiet=not args.verbose)
+    workers_desc = (f"{args.workers} workers" if args.workers
+                    else "0 workers (coordinator; drain with "
+                         "'repro worker')")
     print(f"repro service listening on {server.url} "
-          f"({args.workers} workers, queue limit {args.queue_limit}, "
+          f"({workers_desc}, queue limit {args.queue_limit}, "
           f"store {args.store or 'none (in-memory cache only)'})",
           flush=True)
     try:
@@ -675,6 +787,33 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
         server.stop()
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.service import ServiceError, ServiceWorker
+    gpu = (small_config(num_channels=args.channels)
+           if args.channels else None)
+    store = None
+    if args.store:
+        from repro.experiments.store import ResultStore
+        store = ResultStore(args.store)
+    try:
+        worker = ServiceWorker.from_service(
+            args.url, base_gpu=gpu, store=store,
+            name=args.name, poll_seconds=args.poll,
+        )
+    except (ServiceError, OSError) as exc:
+        print(f"worker: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+    print(f"worker {worker.name}: claiming from {args.url} "
+          f"(settings {worker.runner.cache_settings()})", flush=True)
+    try:
+        worker.run(max_points=args.max_points, idle_exit=args.idle_exit)
+    except KeyboardInterrupt:
+        print("worker: interrupted", file=sys.stderr)
+    print(f"worker {worker.name}: {worker.completed} completed, "
+          f"{worker.failed} failed, {worker.claimed} claimed")
     return 0
 
 
@@ -801,6 +940,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "submit":
         return _cmd_submit(args)
     if args.command == "status":

@@ -56,6 +56,24 @@ from repro.power.energy import EnergyBreakdown
 SCHEMA_VERSION = 3
 
 
+class ResultConflictError(RuntimeError):
+    """Two *different* results saved under one fingerprint.
+
+    Fingerprints are content addresses: the simulator is deterministic,
+    so every honest writer of a fingerprint produces the identical
+    payload and concurrent cross-host saves are idempotent. A conflict
+    therefore always means misconfiguration -- a worker running a
+    different GPU config, a stale schema squeaking through, a
+    nondeterminism bug -- and silently letting the last writer win
+    would corrupt whichever sweep reads the entry next. Fail loudly
+    instead.
+    """
+
+    def __init__(self, path, message: str) -> None:
+        super().__init__(message)
+        self.path = path
+
+
 def key_fingerprint(key: RunKey,
                     settings: Optional[Mapping[str, object]] = None) -> str:
     """A stable filename-safe fingerprint of a RunKey.
@@ -160,15 +178,39 @@ class ResultStore:
         The JSON is written to a temporary file in the store directory
         and renamed into place, so concurrent writers and interrupted
         sweeps can never produce a half-written entry.
+
+        Cross-host merge semantics: when the entry already exists with
+        the current schema, the payloads are compared. An identical
+        payload makes the save a no-op (concurrent shards and remote
+        workers race to publish the same deterministic result; either
+        order is fine), a *different* payload raises
+        :class:`ResultConflictError` instead of silently letting the
+        last writer win. Corrupt or stale-schema entries are simply
+        overwritten.
         """
         path = self._path(key, settings)
+        payload = result_to_dict(result)
+        existing = self._existing_payload(path)
+        if existing is not None:
+            # Canonical (sorted-key) comparison: key order on disk is
+            # irrelevant, value equality is what fingerprints promise.
+            if (json.dumps(existing, sort_keys=True)
+                    == json.dumps(payload, sort_keys=True)):
+                return
+            raise ResultConflictError(
+                path,
+                f"divergent results for fingerprint {path.stem!r}: the "
+                "store already holds a different payload for this key "
+                "and settings; refusing last-writer-wins (check that "
+                "every writer uses the same GPU config)",
+            )
         handle = tempfile.NamedTemporaryFile(
             "w", dir=self.root, prefix=path.stem + ".", suffix=".tmp",
             delete=False,
         )
         try:
             with handle:
-                handle.write(json.dumps(result_to_dict(result)))
+                handle.write(json.dumps(payload))
             os.replace(handle.name, path)
         except BaseException:
             try:
@@ -176,6 +218,19 @@ class ResultStore:
             except OSError:
                 pass
             raise
+
+    def _existing_payload(self, path: Path) -> Optional[dict]:
+        """The entry already at ``path``, if it parses at the current
+        schema; None means missing/corrupt/stale (safe to overwrite)."""
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(data, dict):
+            return None
+        if data.get("_schema") != SCHEMA_VERSION:
+            return None
+        return data
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))

@@ -1,8 +1,20 @@
 """Parallel sweep orchestration: declarative grids of experiment
-points executed across a fault-tolerant process pool, resumable via
-the persistent result store."""
+points executed over pluggable backends (inline, process pool,
+coordinator-free shards, remote service endpoints), resumable via the
+persistent result store."""
 
 from repro.orchestrator.catalog import FIGURE_SWEEPS, SWEEPABLE, figure_sweep
+from repro.orchestrator.executors import (
+    BackendError,
+    Backpressure,
+    Completion,
+    ExecutorBackend,
+    InlineExecutor,
+    LocalExecutor,
+    RemoteExecutor,
+    ShardedExecutor,
+    shard_of,
+)
 from repro.orchestrator.orchestrator import (
     PointFailure,
     SweepOrchestrator,
@@ -15,6 +27,15 @@ __all__ = [
     "FIGURE_SWEEPS",
     "SWEEPABLE",
     "figure_sweep",
+    "BackendError",
+    "Backpressure",
+    "Completion",
+    "ExecutorBackend",
+    "InlineExecutor",
+    "LocalExecutor",
+    "RemoteExecutor",
+    "ShardedExecutor",
+    "shard_of",
     "PointFailure",
     "SweepOrchestrator",
     "SweepReport",

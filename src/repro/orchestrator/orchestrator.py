@@ -1,35 +1,48 @@
-"""Process-pool sweep execution with fault tolerance and resume.
+"""Sweep execution over pluggable backends, with fault tolerance.
 
 Independent simulation points are embarrassingly parallel, so the
 :class:`SweepOrchestrator` fans the unique RunKeys of one or more
-:class:`~repro.orchestrator.sweep.Sweep`\\ s out to a
-``ProcessPoolExecutor`` and streams completed results back through the
-parent runner's cache/store path (``ExperimentRunner.publish``), which
-makes interrupted sweeps resumable: re-running skips every point the
-store already holds.
+:class:`~repro.orchestrator.sweep.Sweep`\\ s out to an
+:class:`~repro.orchestrator.executors.ExecutorBackend` and streams
+completed results back through the parent runner's cache/store path
+(``ExperimentRunner.publish``), which makes interrupted sweeps
+resumable: re-running skips every point the store already holds.
+
+The orchestrator owns *policy* and the backend owns *mechanism*:
+resume, dedup, bounded retry, timeouts, restart budgets and
+cancellation all live here, in one generic loop, so
+:class:`~repro.orchestrator.executors.LocalExecutor` (process pool),
+:class:`~repro.orchestrator.executors.ShardedExecutor`
+(coordinator-free ``--shard i/N`` partitioning) and
+:class:`~repro.orchestrator.executors.RemoteExecutor` (PR-6 service
+endpoints) inherit identical semantics.
 
 Fault tolerance, in order of escalation:
 
-* a worker raising an exception costs that point one attempt; the point
-  is retried up to ``retries`` times, then recorded as a
+* a point raising an exception costs it one attempt; the point is
+  retried up to ``retries`` times, then recorded as a
   :class:`PointFailure` without sinking the rest of the sweep;
 * a point exceeding ``timeout`` seconds is treated the same way, and
-  the pool is killed and rebuilt (with exponential backoff) because a
-  hung worker cannot be cancelled any other way;
-* a broken pool (worker killed by the OS, say) is rebuilt the same way,
-  re-queueing everything that was in flight;
-* after ``max_pool_restarts`` rebuilds -- or if a pool cannot be
-  created at all -- the orchestrator degrades gracefully to inline
+  the backend is asked to abandon it (a pool with hung workers demands
+  a rebuild; remote endpoints just cancel the job);
+* a *lost* completion (worker killed by the OS, endpoint gone) re-queues
+  everything in flight and restarts the backend with exponential
+  backoff;
+* backpressure (:class:`~repro.orchestrator.executors.Backpressure`,
+  e.g. HTTP 429) pauses submissions for the advertised delay without
+  charging an attempt;
+* after ``max_pool_restarts`` rebuilds -- or if the backend cannot
+  start at all -- the orchestrator degrades gracefully to inline
   serial execution in the parent process, as it also does for
-  ``workers=1`` (where the pool would only add overhead).
+  ``workers=1`` (where a pool would only add overhead).
 
 Cancellation: passing ``stop`` (anything with ``is_set()``, e.g. a
 ``threading.Event``) makes the orchestrator abort cooperatively -- the
-inline path stops between points, the pool path notices within one
-polling tick and kills the pool, so even a mid-simulation point dies
-with its worker. An aborted run sets ``SweepReport.cancelled``; results
-that completed before the abort are still published, so nothing is
-wasted and the store stays consistent (its writes are atomic).
+inline path stops between points, concurrent backends notice within
+one polling tick and kill whatever is in flight. An aborted run sets
+``SweepReport.cancelled``; results that completed before the abort are
+still published, so nothing is wasted and the store stays consistent
+(its writes are atomic).
 
 Results are bitwise identical to the serial path: workers run the exact
 same ``ExperimentRunner._simulate`` on deterministic, seeded workloads.
@@ -40,35 +53,23 @@ from __future__ import annotations
 import collections
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.system import RunResult
 from repro.experiments.runner import ExperimentRunner, RunKey
+from repro.experiments.store import key_fingerprint
+from repro.orchestrator.executors import (
+    Backpressure,
+    BackendError,
+    ExecutorBackend,
+    InlineExecutor,
+    LocalExecutor,
+    _worker_init,  # noqa: F401 -- re-exported for backward compat
+    _worker_run,  # noqa: F401 -- re-exported for backward compat
+)
 from repro.orchestrator.progress import ProgressReporter
 from repro.orchestrator.sweep import Sweep
-
-# ----------------------------------------------------------------------
-# Worker-process side. The initializer builds one runner per worker
-# process (the GPU config is pickled once, not per point); tasks then
-# only ship a RunKey out and a RunResult back.
-# ----------------------------------------------------------------------
-
-_WORKER_RUNNER: Optional[ExperimentRunner] = None
-
-
-def _worker_init(base_gpu, mdr_epoch: int, max_cycles: int) -> None:
-    global _WORKER_RUNNER
-    _WORKER_RUNNER = ExperimentRunner(
-        base_gpu=base_gpu, mdr_epoch=mdr_epoch, max_cycles=max_cycles,
-    )
-
-
-def _worker_run(key: RunKey) -> RunResult:
-    assert _WORKER_RUNNER is not None, "worker initializer did not run"
-    return _WORKER_RUNNER.run(key)
 
 
 @dataclass
@@ -92,6 +93,8 @@ class SweepReport:
     retries: int = 0
     pool_restarts: int = 0
     duplicates: int = 0
+    skipped: int = 0
+    shard: Optional[str] = None
     wall_seconds: float = 0.0
     mode: str = "pool"
     cancelled: bool = False
@@ -108,6 +111,9 @@ class SweepReport:
             f"{self.cache_hits} cached",
             f"{self.duplicates} deduplicated",
         ]
+        if self.shard is not None:
+            parts.append(f"shard {self.shard} "
+                         f"({self.skipped} left to peers)")
         if self.retries:
             parts.append(f"{self.retries} retries")
         if self.pool_restarts:
@@ -121,7 +127,7 @@ class SweepReport:
 
 
 class SweepOrchestrator:
-    """Executes sweeps across a process pool, serially as a fallback."""
+    """Executes sweeps over a backend, serially as a fallback."""
 
     def __init__(self, runner: ExperimentRunner,
                  workers: Optional[int] = None,
@@ -132,6 +138,7 @@ class SweepOrchestrator:
                  progress: Optional[ProgressReporter] = None,
                  task_fn: Optional[Callable[[RunKey], RunResult]] = None,
                  stop=None,
+                 backend: Optional[ExecutorBackend] = None,
                  ) -> None:
         self.runner = runner
         self.workers = workers if workers is not None else (
@@ -149,12 +156,20 @@ class SweepOrchestrator:
         #: (module-level) when a process pool is used.
         self.task_fn = task_fn
         #: Cooperative cancellation: anything with ``is_set()``. When it
-        #: trips, the run aborts (pool killed, pending points dropped)
-        #: and the report comes back with ``cancelled=True``.
+        #: trips, the run aborts (in-flight work killed, pending points
+        #: dropped) and the report comes back with ``cancelled=True``.
         self.stop = stop
+        #: Execution backend; None = pick by ``workers`` (inline vs
+        #: local process pool), the historical behaviour.
+        self.backend = backend
 
     def _stopped(self) -> bool:
         return self.stop is not None and self.stop.is_set()
+
+    def _default_backend(self) -> ExecutorBackend:
+        if self.workers <= 1:
+            return InlineExecutor()
+        return LocalExecutor()
 
     # ------------------------------------------------------------------
     # Public API.
@@ -168,9 +183,17 @@ class SweepOrchestrator:
         to the runner's cache and store as they arrive, so the figures
         that consume them afterwards hit cache, and an interrupted
         sweep resumes from the store on the next invocation.
+
+        A sharding backend first drops the points other shards own
+        (``report.skipped``) -- before the cache lookup, so shards never
+        touch, and a dead host costs only its own shard's points.
         """
         report = SweepReport()
         started = time.monotonic()
+
+        backend = (self.backend if self.backend is not None
+                   else self._default_backend())
+        backend.bind(self)
 
         labels: Dict[RunKey, str] = {}
         requested = 0
@@ -180,7 +203,23 @@ class SweepOrchestrator:
                 labels.setdefault(point.key, point.label)
         report.duplicates = requested - len(labels)
 
+        if backend.shard_spec is not None:
+            report.shard = backend.shard_spec
+            settings = self.runner.cache_settings()
+            mine: Dict[RunKey, str] = {}
+            for key, label in labels.items():
+                if backend.accepts(key, key_fingerprint(key, settings)):
+                    mine[key] = label
+                else:
+                    report.skipped += 1
+            labels = mine
+
         self.progress.start(total=len(labels), workers=self.workers)
+        if report.skipped:
+            self.progress.note(
+                f"shard {report.shard}: claimed {len(labels)} points, "
+                f"left {report.skipped} to peer shards"
+            )
 
         # Resume: skip everything the cache/store already holds.
         pending: "collections.OrderedDict[RunKey, str]" = (
@@ -196,19 +235,15 @@ class SweepOrchestrator:
                 pending[key] = label
 
         if pending:
-            if self.workers <= 1:
-                report.mode = "inline"
-                self._run_inline(pending, report)
-            else:
-                report.mode = "pool"
-                self._run_pool(pending, report)
+            report.mode = backend.name
+            self._run_backend(backend, pending, report)
 
         report.wall_seconds = time.monotonic() - started
         self.progress.finish()
         return report
 
     # ------------------------------------------------------------------
-    # Inline (serial) execution: workers=1 and terminal degradation.
+    # Inline (serial) execution: the terminal degradation target.
     # ------------------------------------------------------------------
 
     def _execute_inline(self, key: RunKey) -> RunResult:
@@ -251,62 +286,37 @@ class SweepOrchestrator:
                 break
 
     # ------------------------------------------------------------------
-    # Pool execution.
+    # The generic backend-driving loop.
     # ------------------------------------------------------------------
 
-    def _make_pool(self) -> Optional[ProcessPoolExecutor]:
-        try:
-            if self.task_fn is not None:
-                return ProcessPoolExecutor(max_workers=self.workers)
-            return ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_worker_init,
-                initargs=(self.runner.base_gpu, self.runner.mdr_epoch,
-                          self.runner.max_cycles),
-            )
-        except Exception:  # noqa: BLE001 -- e.g. sandboxed /dev/shm
-            return None
-
-    def _kill_pool(self, pool: Optional[ProcessPoolExecutor]) -> None:
-        # After shutdown() the executor sets _processes to None, so a
-        # second kill (restart path, then the final cleanup) must not
-        # trip over it.
-        if pool is None:
-            return
-        for process in (getattr(pool, "_processes", None) or {}).values():
-            try:
-                process.terminate()
-            except Exception:  # noqa: BLE001 -- already gone
-                pass
-        try:
-            pool.shutdown(wait=False, cancel_futures=True)
-        except Exception:  # noqa: BLE001 -- pool already broken
-            pass
-
-    def _run_pool(self, pending: Dict[RunKey, str],
-                  report: SweepReport) -> None:
+    def _run_backend(self, backend: ExecutorBackend,
+                     pending: Dict[RunKey, str],
+                     report: SweepReport) -> None:
         queue: Deque[RunKey] = collections.deque(pending)
         labels = dict(pending)
         attempts: Dict[RunKey, int] = collections.defaultdict(int)
+        inflight: Dict[object, Tuple[RunKey, float]] = {}
         restarts = 0
+        degraded = False
+        resume_at = 0.0  # backpressure: no submissions before this
+        tick = 0.1 if self.timeout is not None else 0.5
 
-        pool = self._make_pool()
-        if pool is None:
-            self.progress.note("process pool unavailable; "
-                               "running inline")
+        try:
+            backend.start()
+        except BackendError as exc:
+            self.progress.note(f"{backend.name} backend unavailable "
+                               f"({exc}); running inline")
             report.mode = "inline"
             self._run_inline(pending, report)
             return
-
-        task = self.task_fn if self.task_fn is not None else _worker_run
-        inflight: Dict[object, Tuple[RunKey, float]] = {}
-        tick = 0.1 if self.timeout is not None else 0.5
 
         def fail_or_requeue(key: RunKey, reason: str) -> None:
             if attempts[key] <= self.retries:
                 report.retries += 1
                 self.progress.point_retried(labels[key], reason,
                                             attempts[key])
+                if backend.retry_backoff:
+                    time.sleep(self.backoff * (2 ** (attempts[key] - 1)))
                 queue.append(key)
             else:
                 report.failures.append(
@@ -314,106 +324,139 @@ class SweepOrchestrator:
                 )
                 self.progress.point_failed(labels[key], reason)
 
-        def restart_pool(reason: str) -> bool:
-            """Rebuild the pool; False means degrade to inline."""
-            nonlocal pool, restarts
+        def restart_backend(reason: str) -> bool:
+            """Re-queue in-flight work and rebuild; False = degrade."""
+            nonlocal restarts
             restarts += 1
             report.pool_restarts += 1
-            self._kill_pool(pool)
-            for fut, (key, _) in inflight.items():
+            for key, _ in inflight.values():
                 queue.appendleft(key)
             inflight.clear()
             if restarts > self.max_pool_restarts:
                 self.progress.note(
-                    f"pool died {restarts} times ({reason}); "
-                    "degrading to inline execution"
+                    f"{backend.name} backend died {restarts} times "
+                    f"({reason}); degrading to inline execution"
                 )
                 return False
             time.sleep(self.backoff * (2 ** (restarts - 1)))
-            self.progress.note(f"restarting worker pool ({reason})")
-            pool = self._make_pool()
-            if pool is None:
-                self.progress.note("pool restart failed; "
-                                   "degrading to inline execution")
+            self.progress.note(
+                f"restarting {backend.name} backend ({reason})"
+            )
+            if not backend.restart():
+                self.progress.note(
+                    f"{backend.name} backend restart failed; "
+                    "degrading to inline execution"
+                )
                 return False
             return True
 
         try:
             while queue or inflight:
                 if self._stopped():
-                    # Kill the pool so a mid-simulation point dies with
-                    # its worker; completed results were already
-                    # published as they arrived.
+                    # Kill in-flight work so a mid-simulation point
+                    # dies with its worker; completed results were
+                    # already published as they arrived.
                     report.cancelled = True
+                    backend.cancel()
                     return
-                while queue and len(inflight) < self.workers:
+
+                while (queue and len(inflight) < backend.capacity
+                       and time.monotonic() >= resume_at):
                     key = queue.popleft()
                     attempts[key] += 1
-                    future = pool.submit(task, key)
-                    inflight[future] = (key, time.monotonic())
-
-                done, _ = wait(list(inflight), timeout=tick,
-                               return_when=FIRST_COMPLETED)
-
-                broken: Optional[str] = None
-                for future in done:
-                    key, begun = inflight.pop(future)
                     try:
-                        result = future.result()
-                    except BrokenProcessPool:
-                        # Can't tell which worker died; re-queue this
-                        # point and everything else in flight.
-                        fail_or_requeue(key, "worker process died")
-                        broken = "worker process died"
+                        handle = backend.submit(key, labels[key])
+                    except Backpressure as bp:
+                        attempts[key] -= 1
+                        queue.appendleft(key)
+                        resume_at = time.monotonic() + bp.retry_after
+                        self.progress.note(
+                            f"{backend.name} backend backpressure; "
+                            f"pausing submissions {bp.retry_after:.0f}s"
+                        )
                         break
-                    except Exception as exc:  # noqa: BLE001 -- recorded
-                        fail_or_requeue(key, str(exc))
+                    except BackendError as exc:
+                        attempts[key] -= 1
+                        queue.appendleft(key)
+                        if not restart_backend(str(exc)):
+                            degraded = True
+                        break
+                    inflight[handle] = (key, time.monotonic())
+                if degraded:
+                    break
+
+                if not inflight:
+                    if not queue:
+                        break
+                    # Backpressured with nothing in flight: wait it out
+                    # (still a bounded tick, so cancellation stays
+                    # responsive).
+                    pause = max(resume_at - time.monotonic(), 0.0)
+                    time.sleep(min(pause, tick) or tick)
+                    continue
+
+                lost: Optional[str] = None
+                for completion in backend.poll(tick):
+                    entry = inflight.pop(completion.handle, None)
+                    if entry is None:
+                        continue  # pre-restart straggler; superseded
+                    key, begun = entry
+                    if completion.lost:
+                        fail_or_requeue(key, completion.error
+                                        or "backend failure")
+                        lost = completion.error or "backend failure"
+                        break
+                    if completion.error is not None:
+                        fail_or_requeue(key, completion.error)
                     else:
-                        self.runner.publish(key, result)
-                        report.results[key] = result
+                        self.runner.publish(key, completion.result)
+                        report.results[key] = completion.result
                         report.simulated += 1
                         self.progress.point_done(
                             labels[key], time.monotonic() - begun
                         )
 
-                if broken is not None:
-                    if not restart_pool(broken):
+                if lost is not None:
+                    if not restart_backend(lost):
                         break
                     continue
 
                 if self.timeout is not None and inflight:
                     now = time.monotonic()
                     expired = [
-                        future for future, (_, begun) in inflight.items()
+                        handle
+                        for handle, (_, begun) in inflight.items()
                         if now - begun > self.timeout
                     ]
                     if expired:
-                        for future in expired:
-                            key, _ = inflight.pop(future)
+                        for handle in expired:
+                            key, _ = inflight.pop(handle)
                             fail_or_requeue(
                                 key,
                                 f"timed out after {self.timeout:g}s",
                             )
-                        # Hung workers can't be cancelled -- rebuild the
-                        # pool so their slots come back (unless the
-                        # sweep is over anyway).
+                        healthy = backend.abandon(expired)
+                        # Hung slots only come back with a rebuild
+                        # (unless the sweep is over anyway).
                         if not (queue or inflight):
                             break
-                        if not restart_pool("point timeout"):
+                        if not healthy and not restart_backend(
+                                "point timeout"):
                             break
         finally:
-            self._kill_pool(pool)
+            backend.close()
 
         if report.cancelled:
             return
 
-        # Terminal degradation: whatever the pool never finished runs
-        # inline (points that already failed permanently stay failed).
+        # Terminal degradation: whatever the backend never finished
+        # runs inline (points that already failed permanently stay
+        # failed).
         leftovers = collections.OrderedDict(
             (key, labels[key]) for key in queue
         )
-        for future, (key, _) in inflight.items():
+        for key, _ in inflight.values():
             leftovers.setdefault(key, labels[key])
         if leftovers:
-            report.mode = "pool+inline"
+            report.mode = f"{report.mode}+inline"
             self._run_inline(leftovers, report)

@@ -5,7 +5,10 @@ multi-client executor (docs/SERVICE.md): jobs go in over HTTP, identical
 points are content-address-deduplicated against in-flight work and the
 persistent :class:`~repro.experiments.store.ResultStore`, progress
 streams out as NDJSON/SSE, and backpressure plus per-tenant worker
-bounds keep the queue honest under load. Everything is stdlib-only
+bounds keep the queue honest under load. Remote ``repro worker``
+processes can drain the same queue through the claim API
+(:class:`~repro.service.worker.ServiceWorker`), turning one service
+into the coordinator of a worker fleet. Everything is stdlib-only
 (``http.server`` + ``threading``).
 """
 
@@ -24,6 +27,7 @@ from repro.service.manager import (
     UnknownJobError,
 )
 from repro.service.server import ServiceHandler, ServiceServer
+from repro.service.worker import ServiceWorker, SettingsMismatchError
 
 __all__ = [
     "ServiceClient",
@@ -41,4 +45,6 @@ __all__ = [
     "UnknownJobError",
     "ServiceHandler",
     "ServiceServer",
+    "ServiceWorker",
+    "SettingsMismatchError",
 ]

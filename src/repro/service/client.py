@@ -15,7 +15,7 @@ import urllib.request
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.experiments.runner import RunKey
-from repro.service.codec import runkey_to_dict
+from repro.service.codec import result_to_dict, runkey_to_dict
 
 
 class ServiceError(RuntimeError):
@@ -128,6 +128,28 @@ class ServiceClient:
     def cancel(self, job_id: str) -> dict:
         """Cancel a job (``DELETE /jobs/<id>``); returns its state."""
         return self._request("DELETE", f"/jobs/{job_id}")
+
+    def claim(self, worker: str = "worker") -> Optional[dict]:
+        """Lease one queued point (``POST /claims``); None when idle.
+
+        The payload carries ``fingerprint``, the wire-encoded
+        ``point``, ``label``, ``attempts`` and ``lease_seconds``.
+        """
+        payload = self._request("POST", "/claims",
+                                body={"worker": worker})
+        return payload if payload.get("claimed") else None
+
+    def complete(self, fingerprint: str, result) -> dict:
+        """Report a claimed point's RunResult back to the service."""
+        return self._request(
+            "POST", f"/claims/{fingerprint}",
+            body={"result": result_to_dict(result)},
+        )
+
+    def fail(self, fingerprint: str, error: str) -> dict:
+        """Report a claimed point as failed on this worker."""
+        return self._request("POST", f"/claims/{fingerprint}",
+                             body={"error": error})
 
     def events(self, job_id: str, since: int = 0,
                timeout: Optional[float] = None) -> Iterator[dict]:

@@ -29,6 +29,16 @@ mid-run job kills its worker pool, and the store stays consistent
 because writes are atomic and stranded temporaries are swept by
 :meth:`ResultStore.gc`, which the manager's maintenance loop runs on a
 timer together with the TTL/LRU eviction policy.
+
+Remote workers are the second way the queue drains: :meth:`claim`
+leases the oldest eligible execution to a named worker
+(``repro worker`` over ``POST /claims``), which simulates it on its own
+hardware and reports back through :meth:`complete_claim` /
+:meth:`fail_claim`. Leases carry a TTL -- a worker that dies mid-point
+simply lets the lease expire, and the execution is requeued (bounded by
+the same ``retries`` budget) for local threads or other workers.
+Running with ``workers=0`` makes the service a pure coordinator that
+only remote workers drain.
 """
 
 from __future__ import annotations
@@ -77,7 +87,8 @@ class Execution:
     """
 
     __slots__ = ("fingerprint", "key", "label", "tenant", "state",
-                 "subscribers", "cancel", "enqueued_at")
+                 "subscribers", "cancel", "enqueued_at", "attempts",
+                 "claimed_by", "claim_deadline", "claimed_at")
 
     def __init__(self, fingerprint: str, key: RunKey, label: str,
                  tenant: str) -> None:
@@ -89,6 +100,12 @@ class Execution:
         self.subscribers: List[Job] = []
         self.cancel = threading.Event()
         self.enqueued_at = time.monotonic()
+        #: Times this execution has been leased to a remote worker.
+        self.attempts = 0
+        #: Remote-claim lease bookkeeping (None = not claimed).
+        self.claimed_by: Optional[str] = None
+        self.claim_deadline: Optional[float] = None
+        self.claimed_at: Optional[float] = None
 
 
 class JobManager:
@@ -105,10 +122,13 @@ class JobManager:
                  task_fn: Optional[Callable[[RunKey], object]] = None,
                  store_ttl_seconds: Optional[float] = None,
                  store_max_entries: Optional[int] = None,
-                 maintenance_interval: float = 60.0) -> None:
+                 maintenance_interval: float = 60.0,
+                 claim_ttl_seconds: float = 120.0) -> None:
         self.runner = runner
-        self.workers = max(1, workers)
-        self.per_tenant = (self.workers if per_tenant is None
+        # workers=0 is legal: a pure coordinator whose queue only
+        # remote workers (repro worker) drain via the claim API.
+        self.workers = max(0, workers)
+        self.per_tenant = (max(1, self.workers) if per_tenant is None
                            else max(1, per_tenant))
         self.queue_limit = max(1, queue_limit)
         self.sim_workers = max(1, sim_workers)
@@ -119,6 +139,7 @@ class JobManager:
         self.store_ttl_seconds = store_ttl_seconds
         self.store_max_entries = store_max_entries
         self.maintenance_interval = maintenance_interval
+        self.claim_ttl_seconds = max(0.05, claim_ttl_seconds)
 
         self._lock = threading.RLock()
         self._wake = threading.Condition(self._lock)
@@ -127,6 +148,7 @@ class JobManager:
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
         self._tenant_running: Dict[str, int] = {}
         self._running: Dict[str, Execution] = {}
+        self._claims: Dict[str, Execution] = {}
         self._job_seq = itertools.count(1)
         self._shutdown = False
         self.started_at = time.time()
@@ -141,6 +163,10 @@ class JobManager:
             "points_executed": 0,
             "points_failed": 0,
             "points_cancelled": 0,
+            "points_claimed": 0,
+            "claims_completed": 0,
+            "claims_failed": 0,
+            "claims_expired": 0,
         }
 
         self._threads = [
@@ -267,8 +293,8 @@ class JobManager:
             if job.reporter.executed
         ]
         per_point = max(rates) if rates else 5.0
-        backlog = len(self._queue) + len(self._running)
-        return per_point * max(1, backlog) / self.workers
+        backlog = len(self._queue) + len(self._running) + len(self._claims)
+        return per_point * max(1, backlog) / max(1, self.workers)
 
     # ------------------------------------------------------------------
     # Worker loop.
@@ -276,6 +302,7 @@ class JobManager:
 
     def _pop_eligible(self) -> Optional[Execution]:
         """The oldest queued execution whose tenant has a free slot."""
+        self._reap_expired_claims()
         for index, execution in enumerate(self._queue):
             running = self._tenant_running.get(execution.tenant, 0)
             if running < self.per_tenant:
@@ -375,6 +402,144 @@ class JobManager:
                     )
                 else:
                     job.reporter.note(str(event.get("message", "")))
+
+    # ------------------------------------------------------------------
+    # Remote worker claims.
+    # ------------------------------------------------------------------
+
+    def claim(self, worker: str = "worker") -> Optional[Execution]:
+        """Lease the oldest eligible queued execution to ``worker``.
+
+        The lease lasts ``claim_ttl_seconds``; a worker that neither
+        completes nor fails the claim in time is presumed dead and the
+        execution is requeued (or failed once its retry budget is
+        spent). Returns None when nothing is eligible.
+        """
+        with self._lock:
+            if self._shutdown:
+                return None
+            execution = self._pop_eligible()
+            if execution is None:
+                return None
+            now = time.monotonic()
+            execution.state = RUNNING
+            execution.attempts += 1
+            execution.claimed_by = worker
+            execution.claimed_at = now
+            execution.claim_deadline = now + self.claim_ttl_seconds
+            self._claims[execution.fingerprint] = execution
+            self._tenant_running[execution.tenant] = (
+                self._tenant_running.get(execution.tenant, 0) + 1
+            )
+            self.counters["points_claimed"] += 1
+            self._mark_running(execution)
+            return execution
+
+    def complete_claim(self, fingerprint: str,
+                       result) -> Optional[Execution]:
+        """A worker delivers the result for a leased execution.
+
+        Returns the execution, or None when the lease already expired
+        (the point was requeued or re-leased; the late result is
+        dropped -- whoever holds the live lease will deliver). Publishes
+        through the runner, so the store's save-time equality check
+        guards against a misconfigured worker sneaking in a divergent
+        payload (delivered as a failure, not silently stored).
+        """
+        execution = self._release_claim(fingerprint)
+        if execution is None:
+            return None
+        began = execution.claimed_at or time.monotonic()
+        try:
+            self.runner.publish(execution.key, result)
+        except Exception as exc:  # noqa: BLE001 -- conflict => failure
+            self.counters["claims_failed"] += 1
+            self._deliver(execution, None,
+                          f"worker result rejected: {exc}",
+                          time.monotonic() - began)
+            return execution
+        self.counters["claims_completed"] += 1
+        self._deliver(execution, result, None,
+                      time.monotonic() - began)
+        return execution
+
+    def fail_claim(self, fingerprint: str,
+                   error: str) -> Optional[str]:
+        """A worker reports a leased execution failed.
+
+        Returns ``"requeued"`` (retry budget left), ``"failed"``
+        (budget spent; failure delivered to subscribers) or None for an
+        unknown/expired lease.
+        """
+        execution = self._release_claim(fingerprint)
+        if execution is None:
+            return None
+        self.counters["claims_failed"] += 1
+        with self._wake:
+            if (execution.attempts <= self.retries
+                    and not execution.cancel.is_set()):
+                self._requeue_claimed(execution, error)
+                return "requeued"
+        began = execution.claimed_at or time.monotonic()
+        self._deliver(execution, None, error,
+                      time.monotonic() - began,
+                      cancelled=execution.cancel.is_set())
+        return "failed"
+
+    def _release_claim(self, fingerprint: str) -> Optional[Execution]:
+        """Drop the live lease on ``fingerprint`` (None if not held)."""
+        with self._wake:
+            execution = self._claims.pop(fingerprint, None)
+            if execution is None:
+                return None
+            self._tenant_running[execution.tenant] -= 1
+            execution.claimed_by = None
+            execution.claim_deadline = None
+            self._wake.notify_all()
+            return execution
+
+    def _requeue_claimed(self, execution: Execution,
+                         reason: str) -> None:
+        """Put a claimed execution back on the queue (lock held)."""
+        execution.state = QUEUED
+        execution.claimed_at = None
+        self._queue.append(execution)
+        for job in execution.subscribers:
+            if job.terminal:
+                continue
+            job.reporter.point_retried(execution.label, reason,
+                                       execution.attempts)
+            for label in job.labels_for(execution.fingerprint):
+                job.point_status[label].state = "queued"
+        self._wake.notify_all()
+
+    def _reap_expired_claims(self) -> None:
+        """Requeue/fail executions whose lease ran out (lock held)."""
+        now = time.monotonic()
+        expired = [
+            execution for execution in self._claims.values()
+            if execution.claim_deadline is not None
+            and execution.claim_deadline <= now
+        ]
+        for execution in expired:
+            worker = execution.claimed_by
+            self._claims.pop(execution.fingerprint, None)
+            self._tenant_running[execution.tenant] -= 1
+            execution.claimed_by = None
+            execution.claim_deadline = None
+            self.counters["claims_expired"] += 1
+            if (execution.attempts <= self.retries
+                    and not execution.cancel.is_set()):
+                self._requeue_claimed(
+                    execution,
+                    f"worker lease expired ({worker})",
+                )
+            else:
+                began = execution.claimed_at or now
+                self._deliver(execution, None,
+                              f"worker lease expired ({worker})",
+                              now - began,
+                              cancelled=execution.cancel.is_set())
 
     # ------------------------------------------------------------------
     # Delivery.
@@ -502,6 +667,7 @@ class JobManager:
     def stats(self) -> dict:
         """Queue depth, per-tenant occupancy, counters, store stats."""
         with self._lock:
+            self._reap_expired_claims()
             by_state: Dict[str, int] = {}
             for job in self._jobs.values():
                 by_state[job.state] = by_state.get(job.state, 0) + 1
@@ -509,9 +675,21 @@ class JobManager:
                 "uptime_seconds": time.time() - self.started_at,
                 "workers": self.workers,
                 "per_tenant": self.per_tenant,
+                # Advertised so remote sweeps and workers can refuse to
+                # talk to a service whose fingerprints they'd miss.
+                "settings": dict(self.runner.cache_settings()),
                 "queue_depth": len(self._queue),
                 "queue_limit": self.queue_limit,
                 "running": len(self._running),
+                "claims": {
+                    "active": len(self._claims),
+                    "ttl_seconds": self.claim_ttl_seconds,
+                    "workers": sorted({
+                        execution.claimed_by
+                        for execution in self._claims.values()
+                        if execution.claimed_by
+                    }),
+                },
                 "running_by_tenant": {
                     tenant: count
                     for tenant, count in self._tenant_running.items()

@@ -14,6 +14,8 @@ REST surface::
     GET    /jobs/<id>/result  results (``?wait=SECONDS`` to block)
     GET    /jobs/<id>/events  NDJSON progress stream (SSE on Accept)
     DELETE /jobs/<id>         cancel
+    POST   /claims            lease one queued point to {worker: name}
+    POST   /claims/<fp>       report {result: {...}} or {error: "..."}
     GET    /healthz           liveness
     GET    /stats             manager + store counters
 
@@ -34,7 +36,13 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
-from repro.service.codec import CodecError, points_from_wire, result_to_dict
+from repro.service.codec import (
+    CodecError,
+    points_from_wire,
+    result_from_dict,
+    result_to_dict,
+    runkey_to_dict,
+)
 from repro.service.jobs import Job
 from repro.service.manager import (
     JobManager,
@@ -272,6 +280,62 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 payload = line + "\n"
             self.wfile.write(payload.encode())
             self.wfile.flush()
+
+    def _post_claims(self, fingerprint, tail, query) -> None:
+        if tail is not None:
+            raise ApiError(404, f"no such resource: {self.path}")
+        if fingerprint is None:
+            self._claim_next()
+        else:
+            self._claim_report(fingerprint)
+
+    def _claim_next(self) -> None:
+        """Lease one queued execution to a remote worker."""
+        worker = "worker"
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > 0:
+            body = self._read_json()
+            worker = str(body.get("worker") or worker)
+        execution = self.manager.claim(worker)
+        if execution is None:
+            self._send_json({"claimed": False})
+            return
+        self._send_json({
+            "claimed": True,
+            "fingerprint": execution.fingerprint,
+            "label": execution.label,
+            "tenant": execution.tenant,
+            "attempts": execution.attempts,
+            "lease_seconds": self.manager.claim_ttl_seconds,
+            "point": runkey_to_dict(execution.key),
+        }, status=201)
+
+    def _claim_report(self, fingerprint: str) -> None:
+        """A worker reports the outcome of a leased execution."""
+        body = self._read_json()
+        if "result" in body:
+            encoded = body["result"]
+            if not isinstance(encoded, dict):
+                raise ApiError(400, "'result' must be a JSON object")
+            result = result_from_dict(encoded)
+            if result is None:
+                raise ApiError(400, "bad result payload (schema "
+                                    "mismatch; rebuild the worker)")
+            execution = self.manager.complete_claim(fingerprint, result)
+            if execution is None:
+                raise ApiError(409, f"no live lease on {fingerprint!r} "
+                                    "(expired or already reported)")
+            self._send_json({"state": execution.state})
+            return
+        if "error" in body:
+            outcome = self.manager.fail_claim(fingerprint,
+                                              str(body["error"]))
+            if outcome is None:
+                raise ApiError(409, f"no live lease on {fingerprint!r} "
+                                    "(expired or already reported)")
+            self._send_json({"state": outcome})
+            return
+        raise ApiError(400, "claim report needs 'result' or 'error'")
 
     def _delete_jobs(self, job_id, tail, query) -> None:
         if job_id is None or tail is not None:

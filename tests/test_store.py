@@ -8,6 +8,7 @@ from repro.config.presets import small_config
 from repro.config.topology import Architecture, ReplicationPolicy
 from repro.experiments.runner import ExperimentRunner, RunKey
 from repro.experiments.store import (
+    ResultConflictError,
     ResultStore,
     key_fingerprint,
     result_from_dict,
@@ -196,6 +197,64 @@ class TestRunnerStoreIntegration:
         system_b, _ = runner.run_system(key)
         assert system_a is system_b
         assert runner.simulations_run == 1
+
+
+class TestConflicts:
+    """Concurrent-writer semantics: equality, not last-writer-wins.
+
+    Distributed sweeps make double-publishes routine (two shards into
+    one store over NFS, a worker and the coordinator racing on the same
+    point), so ``save`` must be an idempotent no-op for identical
+    payloads and a hard error for divergent ones.
+    """
+
+    def test_identical_resave_is_noop(self, runner, tmp_path):
+        store = ResultStore(tmp_path)
+        key = RunKey("KMEANS")
+        result = runner.run(key)
+        store.save(key, result)
+        before = next(tmp_path.glob("*.json")).stat().st_mtime_ns
+        store.save(key, result)  # concurrent identical writer
+        assert len(store) == 1
+        assert next(tmp_path.glob("*.json")).stat().st_mtime_ns \
+            == before  # no rewrite at all
+
+    def test_divergent_resave_raises_and_preserves(self, runner,
+                                                   tmp_path):
+        import dataclasses
+        store = ResultStore(tmp_path)
+        key = RunKey("KMEANS")
+        result = runner.run(key)
+        store.save(key, result)
+        divergent = dataclasses.replace(result,
+                                        cycles=result.cycles + 1)
+        with pytest.raises(ResultConflictError) as excinfo:
+            store.save(key, divergent)
+        assert excinfo.value.path.exists()
+        # The first writer's entry survives untouched.
+        assert store.load(key).cycles == result.cycles
+
+    def test_corrupt_entry_is_overwritten(self, runner, tmp_path):
+        store = ResultStore(tmp_path)
+        key = RunKey("KMEANS")
+        result = runner.run(key)
+        store.save(key, result)
+        path = next(tmp_path.glob("*.json"))
+        path.write_text("{not json")
+        store.save(key, result)  # heals, no conflict
+        assert store.load(key).cycles == result.cycles
+
+    def test_stale_schema_entry_is_overwritten(self, runner, tmp_path):
+        store = ResultStore(tmp_path)
+        key = RunKey("KMEANS")
+        result = runner.run(key)
+        store.save(key, result)
+        path = next(tmp_path.glob("*.json"))
+        stale = json.loads(path.read_text())
+        stale["_schema"] = -1
+        path.write_text(json.dumps(stale))
+        store.save(key, result)  # old schema never conflicts
+        assert store.load(key).cycles == result.cycles
 
 
 class TestMaintenance:
