@@ -19,6 +19,7 @@ Subcommands::
     python -m repro status --url http://host:8000 [JOB_ID]
     python -m repro fetch --url http://host:8000 JOB_ID
     python -m repro store ls|gc|clear --dir results/
+    python -m repro lint [--json] [--out findings.json]  # docs/LINT.md
 
 The CLI drives the same public API the examples use; it exists so the
 headline experiments are reproducible without writing any Python.
@@ -381,6 +382,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="gc: evict entries idle longer than this")
     store.add_argument("--max-entries", type=int, default=None,
                        help="gc: keep at most this many entries (LRU)")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST invariant checkers over src/repro "
+             "(docs/LINT.md)",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint "
+                           "(default: all of src/repro)")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the findings report as JSON")
+    lint.add_argument("--out", default=None, metavar="PATH",
+                      help="also write the report to PATH")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="suppression baseline "
+                           "(default: <repo>/lint-baseline.json)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="append current new findings to the baseline "
+                           "(notes must then be filled in by hand)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+    lint.add_argument("--verbose", action="store_true",
+                      help="also list baselined findings")
     return parser
 
 
@@ -919,6 +943,40 @@ def _cmd_store(args) -> int:
     raise AssertionError("unreachable")
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.lint import (
+        ALL_CHECKERS,
+        lint_paths,
+        load_baseline,
+        render_json,
+        render_text,
+    )
+    from repro.lint.report import render_rules
+    from repro.lint.runner import repo_root
+
+    if args.list_rules:
+        print(render_rules(ALL_CHECKERS()))
+        return 0
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else repo_root() / "lint-baseline.json")
+    baseline = load_baseline(baseline_path)
+    result = lint_paths(args.paths or None, baseline=baseline)
+    if args.update_baseline and result.new:
+        real = [f for f in result.new if not f.rule.startswith("B")]
+        baseline.extended_with(real).dump(baseline_path)
+        print(f"added {len(real)} entries to {baseline_path}; "
+              "fill in their `note` fields before committing")
+        return 0
+    report = render_json(result) if args.as_json else render_text(
+        result, verbose=args.verbose)
+    if args.out:
+        Path(args.out).write_text(report + "\n", encoding="utf-8")
+    print(report)
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -950,6 +1008,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fetch(args)
     if args.command == "store":
         return _cmd_store(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError("unreachable")
 
 

@@ -1,0 +1,105 @@
+"""Suppression baseline: committed, justified, line-independent.
+
+``lint-baseline.json`` (repo root) lists findings that are accepted as
+intentional.  Entries match on ``(rule, path, scope, message)`` -- no
+line numbers, so unrelated edits don't churn the file -- and every
+entry must carry a human-written ``note`` explaining *why* the
+deviation is intentional (**B001** otherwise).  Entries that no longer
+match anything are flagged (**B002**) so the baseline only shrinks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.core import Finding
+
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """In-memory view of the committed suppression baseline."""
+    def __init__(self, entries: Optional[List[Dict[str, str]]] = None,
+                 path: Optional[Path] = None) -> None:
+        self.path = path
+        self.entries: List[Dict[str, str]] = list(entries or [])
+        self._index: Dict[Tuple[str, str, str, str], Dict[str, str]] = {}
+        for entry in self.entries:
+            self._index[self._key(entry)] = entry
+
+    @staticmethod
+    def _key(entry: Dict[str, str]) -> Tuple[str, str, str, str]:
+        return (entry.get("rule", ""), entry.get("path", ""),
+                entry.get("scope", ""), entry.get("message", ""))
+
+    def match(self, finding: Finding) -> Optional[Dict[str, str]]:
+        """The baseline entry matching *finding*, or None."""
+        return self._index.get(finding.key())
+
+    def split(self, findings: Iterable[Finding]
+              ) -> Tuple[List[Finding], List[Finding], List[Finding]]:
+        """Partition into (new, baselined) and compute baseline health
+        findings (B001 missing note / B002 unused entry)."""
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        used = set()
+        for finding in findings:
+            entry = self.match(finding)
+            if entry is None:
+                new.append(finding)
+            else:
+                baselined.append(finding)
+                used.add(self._key(entry))
+        health: List[Finding] = []
+        baseline_path = str(self.path) if self.path else "lint-baseline.json"
+        for entry in self.entries:
+            key = self._key(entry)
+            if not entry.get("note", "").strip():
+                health.append(Finding(
+                    rule="B001", path=baseline_path, line=1,
+                    scope="<baseline>",
+                    message="baseline entry %r has no justification note"
+                            % (entry.get("message", "")[:60],),
+                    hint="every suppression must say why the deviation "
+                         "is intentional",
+                ))
+            if key not in used:
+                health.append(Finding(
+                    rule="B002", path=baseline_path, line=1,
+                    scope="<baseline>",
+                    message="baseline entry %r no longer matches any "
+                            "finding" % (entry.get("message", "")[:60],),
+                    hint="delete the stale entry (the baseline only "
+                         "shrinks)",
+                ))
+        return new, baselined, health
+
+    def extended_with(self, findings: Iterable[Finding]) -> "Baseline":
+        """A copy of this baseline with *findings* appended (empty notes)."""
+        entries = list(self.entries)
+        for finding in findings:
+            if self.match(finding) is None:
+                entries.append({
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "scope": finding.scope,
+                    "message": finding.message,
+                    "note": "",
+                })
+        return Baseline(entries, path=self.path)
+
+    def dump(self, path: Path) -> None:
+        """Write the baseline JSON to *path*."""
+        payload = {"version": BASELINE_VERSION, "entries": self.entries}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load ``lint-baseline.json``; a missing file is an empty baseline."""
+    if not path.exists():
+        return Baseline(path=path)
+    data = json.loads(path.read_text(encoding="utf-8"))
+    return Baseline(list(data.get("entries", [])), path=path)

@@ -1,0 +1,218 @@
+"""D001-D004 -- determinism inside the simulated machine.
+
+Runs must be bit-identical across hosts and re-runs: the equivalence
+suites, the resumable sweep store, and the distributed-sweep sharding
+all hash or diff results.  Inside the simulated machine
+(``repro.{sim,mem,noc,cache,sm,core,vm}``) that bans:
+
+* **D001** wall clocks (``time.time``/``perf_counter``/...,
+  ``datetime.now``) -- timestamps belong in the driver/obs layers.
+* **D002** the global ``random`` module (process-wide, unseeded state);
+  use a ``random.Random(seed)`` instance owned by the workload/config.
+* **D003** ``id()`` feeding an ordering or a key -- CPython addresses
+  vary run to run.
+* **D004** iterating a ``set``/``frozenset`` without ``sorted()`` --
+  hash order is salt- and history-dependent.  (Dict iteration is
+  insertion-ordered on 3.7+ and allowed.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.lint.core import (
+    Checker,
+    Finding,
+    LintModule,
+    Resolver,
+    call_name,
+    dotted_name,
+)
+
+SCOPED_PREFIXES = tuple(
+    "repro." + pkg for pkg in
+    ("sim", "mem", "noc", "cache", "sm", "core", "vm"))
+
+_WALL_CLOCKS = {
+    "time.time", "time.time_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+    "time.process_time",
+}
+_RANDOM_OK = {"random.Random", "random.SystemRandom", "random.seed"}
+_ORDERING_CALLS = {"sorted", "min", "max", "heappush", "heappushpop"}
+_SET_CTORS = {"set", "frozenset"}
+
+#: Calls whose result does not depend on argument iteration order --
+#: a comprehension over a set fed straight into one of these is safe
+#: (``sorted(x for x in some_set)`` is the sanctioned D004 fix).
+#: Caveat (documented in docs/LINT.md): ``min``/``max``/``sorted`` with
+#: a *partial* key can still tie-break by encounter order; natural
+#: total-order comparisons are what the codebase uses.
+_ORDER_INSENSITIVE_CONSUMERS = {"sorted", "len", "sum", "any", "all",
+                                "min", "max", "set", "frozenset",
+                                "Counter"}
+
+
+def _is_set_expr(node: ast.expr, set_names: Set[str],
+                 resolver: Resolver) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return call_name(node) in _SET_CTORS
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return (_is_set_expr(node.left, set_names, resolver)
+                or _is_set_expr(node.right, set_names, resolver))
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        chain = resolver.chain(node)
+        return chain in set_names
+    return False
+
+
+class DeterminismChecker(Checker):
+    name = "determinism"
+    rules = {
+        "D001": "wall-clock read inside the simulated machine",
+        "D002": "global `random` module inside the simulated machine",
+        "D003": "id() feeding an ordering or key",
+        "D004": "set iteration without sorted()",
+    }
+
+    def check_module(self, module: LintModule) -> List[Finding]:
+        """Apply D001-D004 to one in-scope module."""
+        if not module.module_name.startswith(SCOPED_PREFIXES):
+            return []
+        findings: List[Finding] = []
+        set_attrs = self._class_set_attrs(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(module, node))
+            elif isinstance(node, ast.For):
+                findings.extend(self._check_iter(
+                    module, node, node.iter, set_attrs))
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                if self._feeds_order_insensitive(module, node):
+                    continue
+                for gen in node.generators:
+                    findings.extend(self._check_iter(
+                        module, node, gen.iter, set_attrs))
+        return findings
+
+    # -- D001 / D002 / D003 ----------------------------------------------
+
+    def _check_call(self, module: LintModule,
+                    node: ast.Call) -> List[Finding]:
+        name = dotted_name(node.func)
+        if name in _WALL_CLOCKS or (
+                name and (name.endswith("datetime.now")
+                          or name.endswith("datetime.utcnow"))):
+            return [self.finding(
+                module, node, "D001",
+                "%s() reads the wall clock inside the simulated machine "
+                "-- results would differ run to run" % name,
+                hint="simulated time is `sim.cycle`; wall-clock "
+                     "measurement belongs in driver/obs layers",
+            )]
+        if (name and name.startswith("random.")
+                and name not in _RANDOM_OK):
+            return [self.finding(
+                module, node, "D002",
+                "%s() uses the process-global (unseeded) random state"
+                % name,
+                hint="use a `random.Random(seed)` instance owned by the "
+                     "workload/config so runs are reproducible",
+            )]
+        if isinstance(node.func, ast.Name) and node.func.id == "id":
+            if self._id_feeds_ordering(module, node):
+                return [self.finding(
+                    module, node, "D003",
+                    "id() feeds an ordering or key -- CPython object "
+                    "addresses vary between runs",
+                    hint="order by a stable field (name, index, "
+                         "request id) instead of object identity",
+                )]
+        return []
+
+    @staticmethod
+    def _id_feeds_ordering(module: LintModule, node: ast.Call) -> bool:
+        prev: ast.AST = node
+        for anc in module.ancestors(node):
+            if isinstance(anc, ast.Call):
+                cname = call_name(anc)
+                if cname in _ORDERING_CALLS:
+                    return True
+            if isinstance(anc, ast.Dict) and prev in anc.keys:
+                return True
+            if isinstance(anc, ast.Subscript) and prev is anc.slice:
+                return True
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+                # a lambda body still counts (sort keys) -- keep walking
+                # past lambdas, stop at real functions.
+                if not isinstance(anc, ast.Lambda):
+                    break
+            prev = anc
+        return False
+
+    # -- D004 -------------------------------------------------------------
+
+    @staticmethod
+    def _feeds_order_insensitive(module: LintModule,
+                                 node: ast.AST) -> bool:
+        """Comprehension passed straight into an order-insensitive call
+        (``sorted(x for x in some_set)``)."""
+        parent = module.parents.get(node)
+        return (isinstance(parent, ast.Call)
+                and node in parent.args
+                and call_name(parent) in _ORDER_INSENSITIVE_CONSUMERS)
+
+    def _class_set_attrs(self, module: LintModule) -> Set[str]:
+        """``self.X`` chains assigned a set in any ``__init__``."""
+        attrs: Set[str] = set()
+        for cls in module.top_level_classes():
+            for func in cls.body:
+                if (not isinstance(func, ast.FunctionDef)
+                        or func.name != "__init__"):
+                    continue
+                resolver = Resolver(module, func)
+                for node in ast.walk(func):
+                    target: Optional[ast.expr] = None
+                    value: Optional[ast.expr] = None
+                    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                        target, value = node.targets[0], node.value
+                    elif (isinstance(node, ast.AnnAssign)
+                            and node.value is not None):
+                        target, value = node.target, node.value
+                    if (target is not None and value is not None
+                            and isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                            and _is_set_expr(value, set(), resolver)):
+                        attrs.add("self." + target.attr)
+        return attrs
+
+    def _check_iter(self, module: LintModule, node: ast.AST,
+                    iter_expr: ast.expr,
+                    set_attrs: Set[str]) -> List[Finding]:
+        func = module.enclosing_function(iter_expr)
+        resolver = Resolver(module, func)
+        set_names = set(set_attrs)
+        # locals assigned a set expression inside this function
+        if func is not None:
+            for sub in ast.walk(func):
+                if (isinstance(sub, ast.Assign) and len(sub.targets) == 1
+                        and isinstance(sub.targets[0], ast.Name)
+                        and _is_set_expr(sub.value, set_names, resolver)):
+                    set_names.add("@" + sub.targets[0].id)
+                    set_names.add("G." + sub.targets[0].id)
+        if _is_set_expr(iter_expr, set_names, resolver):
+            return [self.finding(
+                module, node, "D004",
+                "iterating a set -- hash order is nondeterministic "
+                "across runs/hosts",
+                hint="wrap the iterable in sorted(...) before it feeds "
+                     "any decision, or use a list/dict instead",
+            )]
+        return []

@@ -1,0 +1,227 @@
+"""F001/F002 -- fastlane discipline.
+
+Every ``fastlane.FLAGS``-gated fast path must degrade to a bit-identical
+slow path when the flag is off, and every module-level memo the fast
+path fills must be registered with :func:`fastlane.register_cache` so
+``fastlane.reset()`` can restore a cold start (the equivalence suite
+depends on both).
+
+* **F001** -- a flag-gated ``if`` whose body returns/raises, with no
+  ``else`` and nothing after it: with the flag off, control falls off
+  the end instead of taking a slow path.  (Populate-only branches --
+  fill the memo, fall through -- are fine and common.)
+* **F002** -- a module that reads ``fastlane.FLAGS`` and mutates a
+  module-level container from function code without any
+  ``@fastlane.register_cache`` clearer that empties it:
+  ``fastlane.reset()`` would leave stale state behind a flag flip.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.core import (
+    Checker,
+    Finding,
+    LintModule,
+    Resolver,
+    call_name,
+    dotted_name,
+    walk_decorated,
+)
+
+#: The framework module itself: its clearer registry cannot register
+#: itself, and FLAGS lives there by definition.
+_FRAMEWORK_MODULE = "repro.sim.fastlane"
+
+_MUTABLE_CTORS = {"dict", "list", "set", "defaultdict", "OrderedDict",
+                  "deque", "Counter"}
+_MUTATORS = {"append", "appendleft", "add", "update", "setdefault",
+             "extend", "insert"}
+
+
+def _is_flags_expr(node: ast.expr, resolver: Resolver) -> bool:
+    """True if *node*'s subtree reads a ``fastlane.FLAGS`` attribute."""
+    for sub in ast.walk(node):
+        if not isinstance(sub, (ast.Attribute, ast.Name)):
+            continue
+        chain = dotted_name(sub)
+        if chain is None:
+            chain = resolver.chain(sub)
+        if chain is None:
+            continue
+        parts = chain.split(".")
+        if "FLAGS" in parts[:-1] or parts[-1] == "FLAGS":
+            return True
+    return False
+
+
+def _terminates(body: List[ast.stmt]) -> bool:
+    """True if the block subtree contains a return/raise at any depth
+    (ignoring nested function definitions)."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, (ast.Return, ast.Raise)):
+                return True
+    return False
+
+
+class FastlaneChecker(Checker):
+    name = "fastlane-discipline"
+    rules = {
+        "F001": "FLAGS-gated fast path with no slow path",
+        "F002": "module-level fastlane memo not registered for reset()",
+    }
+
+    def check_module(self, module: LintModule) -> List[Finding]:
+        """Apply F001 (fast paths) and F002 (cache registration)."""
+        findings = self._check_fast_paths(module)
+        if module.module_name != _FRAMEWORK_MODULE:
+            findings.extend(self._check_cache_registration(module))
+        return findings
+
+    # -- F001 -------------------------------------------------------------
+
+    def _check_fast_paths(self, module: LintModule) -> List[Finding]:
+        findings: List[Finding] = []
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            resolver = Resolver(module, func)
+            if not func.body:
+                continue
+            last = func.body[-1]
+            if not isinstance(last, ast.If) or last.orelse:
+                continue
+            if not _is_flags_expr(last.test, resolver):
+                continue
+            if _terminates(last.body):
+                findings.append(self.finding(
+                    module, last, "F001",
+                    "flag-gated branch in %s returns a result but has no "
+                    "else/fall-through slow path -- with the flag off the "
+                    "function falls off the end" % func.name,
+                    hint="add the slow path after the `if` (fall-through) "
+                         "or as an `else:`; fast and slow paths must be "
+                         "bit-identical (docs/LINT.md#fastlane)",
+                ))
+        return findings
+
+    # -- F002 -------------------------------------------------------------
+
+    def _check_cache_registration(self, module: LintModule) -> List[Finding]:
+        if not self._reads_flags(module):
+            return []
+        containers = self._module_containers(module)
+        if not containers:
+            return []
+        mutated = self._mutated_globals(module, set(containers))
+        cleared = self._cleared_globals(module)
+        findings: List[Finding] = []
+        for name, node in sorted(containers.items()):
+            if name in mutated and name not in cleared:
+                findings.append(self.finding(
+                    module, node, "F002",
+                    "module-level container '%s' is mutated by a "
+                    "fastlane-aware module but no @fastlane.register_cache "
+                    "clearer empties it" % name,
+                    hint="add a clearer: `@fastlane.register_cache` on a "
+                         "function calling %s.clear(), so fastlane.reset() "
+                         "restores a cold start" % name,
+                ))
+        return findings
+
+    def _reads_flags(self, module: LintModule) -> bool:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                chain = dotted_name(node)
+                if chain and "FLAGS" in chain.split(".")[:-1]:
+                    return True
+        return False
+
+    def _module_containers(
+            self, module: LintModule) -> Dict[str, ast.stmt]:
+        out: Dict[str, ast.stmt] = {}
+        for node in module.tree.body:
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            if not isinstance(target, ast.Name) or value is None:
+                continue
+            if self._is_mutable_container(value):
+                out[target.id] = node
+        return out
+
+    @staticmethod
+    def _is_mutable_container(value: ast.expr) -> bool:
+        if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                              ast.ListComp, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            return call_name(value) in _MUTABLE_CTORS
+        return False
+
+    def _mutated_globals(self, module: LintModule,
+                         names: Set[str]) -> Set[str]:
+        mutated: Set[str] = set()
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            resolver = Resolver(module, func)
+            for node in ast.walk(func):
+                name = self._mutation_target(node, resolver)
+                if name in names:
+                    mutated.add(name)  # type: ignore[arg-type]
+        return mutated
+
+    @staticmethod
+    def _mutation_target(node: ast.AST,
+                         resolver: Resolver) -> Optional[str]:
+        """Global name mutated by *node*, if any (``G.name`` chains)."""
+        chain: Optional[str] = None
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATORS):
+            chain = resolver.chain(node.func.value)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for tgt in targets:
+                if isinstance(tgt, ast.Subscript):
+                    chain = resolver.chain(tgt.value)
+                    if chain:
+                        break
+        if chain and chain.startswith("G."):
+            return chain[2:]
+        return None
+
+    def _cleared_globals(self, module: LintModule) -> Set[str]:
+        cleared: Set[str] = set()
+        for func in ast.walk(module.tree):
+            if not isinstance(func, ast.FunctionDef):
+                continue
+            decorators = walk_decorated(func)
+            if not any(d.split(".")[-1] == "register_cache"
+                       for d in decorators):
+                continue
+            resolver = Resolver(module, func)
+            for node in ast.walk(func):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "clear"):
+                    chain = resolver.chain(node.func.value)
+                    if chain and chain.startswith("G."):
+                        cleared.add(chain[2:])
+                elif isinstance(node, ast.Delete):
+                    for tgt in node.targets:
+                        if isinstance(tgt, ast.Subscript):
+                            chain = resolver.chain(tgt.value)
+                            if chain and chain.startswith("G."):
+                                cleared.add(chain[2:])
+        return cleared

@@ -1,0 +1,65 @@
+"""Findings rendering: human text and ``--json``."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.core import Checker, Finding
+from repro.lint.runner import LintResult
+
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Render a findings report for terminals."""
+    lines: List[str] = []
+    for finding in result.new:
+        lines.append(finding.render())
+    if verbose and result.baselined:
+        lines.append("")
+        lines.append("baselined (suppressed by lint-baseline.json):")
+        for finding in result.baselined:
+            lines.append("  " + finding.render().split("\n")[0])
+    counts = result.counts()
+    summary = ("checked %d files: %d new finding(s), %d baselined, "
+               "%d inline-suppressed"
+               % (counts["files"], counts["new"], counts["baselined"],
+                  counts["suppressed"]))
+    if lines:
+        lines.append("")
+    lines.append(summary)
+    if result.ok:
+        lines.append("lint: clean")
+    else:
+        lines.append("lint: FAILED (new findings above; see docs/LINT.md "
+                     "for the rule catalog and suppression format)")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Render the findings report as stable, sorted JSON."""
+    payload: Dict[str, object] = {
+        "version": REPORT_VERSION,
+        "ok": result.ok,
+        "counts": result.counts(),
+        "findings": [f.as_dict() for f in result.new],
+        "baselined": [f.as_dict() for f in result.baselined],
+        "suppressed": [f.as_dict() for f in result.suppressed],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rules(checkers: Sequence[Checker]) -> str:
+    """Render the ``--list-rules`` catalog."""
+    lines = []
+    for checker in checkers:
+        lines.append("%s:" % checker.name)
+        for rule, desc in sorted(checker.rules.items()):
+            lines.append("  %s  %s" % (rule, desc))
+    lines.append("baseline:")
+    lines.append("  B001  baseline entry missing a justification note")
+    lines.append("  B002  baseline entry no longer matches any finding")
+    lines.append("parse:")
+    lines.append("  E000  file failed to parse")
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""T001 -- tracer emits must sit behind an ``enabled`` guard.
+
+PR 2's observability bar is <5 % overhead when tracing is off.  Every
+``tracer.emit*`` call therefore sits inside ``if <tracer>.enabled:`` --
+including the hoisted-local form used on hot paths::
+
+    tracer = self.tracer
+    trace = tracer.enabled
+    ...
+    if trace:
+        tracer.emit_hop(...)
+
+The checker resolves the receiver of each ``emit``/``emit_*`` call to a
+canonical chain (aliases included) and requires an enclosing ``if``
+whose test reads ``<receiver>.enabled`` -- or an early-return guard
+``if not <receiver>.enabled: return`` earlier in the function.  The
+``repro.obs`` package itself (which implements the tracer) is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.core import Checker, Finding, LintModule, Resolver
+
+_EXEMPT_PREFIX = "repro.obs"
+
+
+def _is_emit_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and (node.func.attr == "emit"
+                 or node.func.attr.startswith("emit_")))
+
+
+def _looks_like_tracer(chain: str) -> bool:
+    last = chain.split(".")[-1].split("[")[0]
+    return "tracer" in last.lower()
+
+
+def _test_reads_enabled(test: ast.expr, resolver: Resolver,
+                        receiver: str) -> bool:
+    want = receiver + ".enabled"
+    for sub in ast.walk(test):
+        if isinstance(sub, (ast.Attribute, ast.Name)):
+            if resolver.chain(sub) == want:
+                return True
+    return False
+
+
+def _has_early_return_guard(func: ast.AST, resolver: Resolver,
+                            receiver: str, before_line: int) -> bool:
+    """``if not <receiver>.enabled: return`` at function top level,
+    earlier than the emit."""
+    for stmt in getattr(func, "body", []):
+        if stmt.lineno >= before_line:
+            break
+        if not isinstance(stmt, ast.If):
+            continue
+        test = stmt.test
+        if not (isinstance(test, ast.UnaryOp)
+                and isinstance(test.op, ast.Not)):
+            continue
+        if not _test_reads_enabled(test.operand, resolver, receiver):
+            continue
+        if any(isinstance(s, ast.Return) for s in stmt.body):
+            return True
+    return False
+
+
+class TracerGuardChecker(Checker):
+    name = "tracer-guard"
+    rules = {"T001": "tracer emit outside an `enabled`-guarded block"}
+
+    def check_module(self, module: LintModule) -> List[Finding]:
+        """Apply T001 to one module (``repro.obs`` is exempt)."""
+        if module.module_name.startswith(_EXEMPT_PREFIX):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not _is_emit_call(node):
+                continue
+            func = module.enclosing_function(node)
+            resolver = Resolver(module, func)
+            receiver = resolver.chain(node.func.value)  # type: ignore
+            if receiver is None or not _looks_like_tracer(receiver):
+                continue
+            if self._is_guarded(module, node, func, resolver, receiver):
+                continue
+            findings.append(self.finding(
+                module, node, "T001",
+                "tracer call %s() is not guarded by `%s.enabled` -- it "
+                "pays attribute/call overhead even with tracing off"
+                % (node.func.attr, receiver),  # type: ignore[union-attr]
+                hint="wrap it: `if %s.enabled: %s.%s(...)` (hoisted "
+                     "`trace = tracer.enabled` locals also count; see "
+                     "docs/LINT.md#tracer-guard)"
+                     % (receiver, receiver,
+                        node.func.attr),  # type: ignore[union-attr]
+            ))
+        return findings
+
+    @staticmethod
+    def _is_guarded(module: LintModule, node: ast.Call,
+                    func: Optional[ast.AST], resolver: Resolver,
+                    receiver: str) -> bool:
+        for anc in module.ancestors(node):
+            if isinstance(anc, (ast.If, ast.IfExp)):
+                if _test_reads_enabled(anc.test, resolver, receiver):
+                    return True
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+        if func is not None and _has_early_return_guard(
+                func, resolver, receiver, node.lineno):
+            return True
+        return False

@@ -70,6 +70,31 @@ FLAGS = FastLaneFlags()
 _cache_clearers: List[Callable[[], None]] = []
 
 
+#: Hot-path classes held to the `repro lint` hot-class contract
+#: (H001/H002 in docs/LINT.md): must declare ``__slots__`` (or be a
+#: dataclass, slotted on 3.10+ via ``_DATACLASS_KWARGS``) and must not
+#: create attributes outside ``__init__``.  Entries are
+#: ``"module:ClassName"``.  The registry lives next to the flags on
+#: purpose: adding a flag-gated optimisation and registering the
+#: classes it touches happen in the same diff.
+HOT_CLASSES = (
+    "repro.sim.queues:BoundedQueue",
+    "repro.sim.queues:DelayLine",
+    "repro.sim.queues:BandwidthLink",
+    "repro.sim.request:MemoryRequest",
+    "repro.sim.request:RequestTracker",
+    "repro.sim.stats:Histogram",
+    "repro.sim.stats:StatsRegistry",
+    "repro.sim.fastlane:FastLaneFlags",
+    "repro.sm.warp:Warp",
+    "repro.sm.cta:CTA",
+    "repro.sm.scheduler:GTOScheduler",
+    "repro.mem.dram:Bank",
+    "repro.vm.tlb:L1TLB",
+    "repro.obs.profiler:_TickProxy",
+)
+
+
 def register_cache(clearer: Callable[[], None]) -> Callable[[], None]:
     """Register (and return) a cache clearer; usable as a decorator."""
     _cache_clearers.append(clearer)

@@ -23,7 +23,7 @@ from repro.obs.export import (
     load_timeline_csv,
     write_chrome_trace,
 )
-from repro.obs.profiler import TickProfiler
+from repro.obs.profiler import TickProfiler, _TickProxy
 from repro.obs.timeline import GLOBAL_FIELDS, TimelineCollector
 from repro.obs.tracer import NULL_TRACER, TraceEvent, Tracer
 from repro.sim.engine import Component, Simulator
@@ -257,6 +257,108 @@ class TestTickProfiler:
         assert sim.components[0] is busy
         profiler.detach()  # idempotent
         assert sim.components[0] is busy
+
+
+class TestTickProfilerActivityContract:
+    """The proxy must forward the full activity contract
+    (``wake``/``idle``/``on_sleep``/``on_skipped`` plus the
+    ``_awake``/``_idle_since`` bookkeeping), otherwise a profiled run
+    skips different ticks than an unprofiled one and diverges."""
+
+    class _Sleeper(Component):
+        """Sleeps whenever its inbox drains; accounts quiet cycles both
+        ways (per-tick in strict mode, via on_skipped when slept)."""
+
+        def __init__(self, name):
+            super().__init__(name)
+            self.inbox = []
+            self.ticks = 0
+            self.processed = 0
+            self.quiet_cycles = 0
+            self.sleeps = 0
+
+        def deliver(self, item):
+            if not self._awake:
+                self.wake()
+            self.inbox.append(item)
+
+        def tick(self, now):
+            self.ticks += 1
+            if self.inbox:
+                self.inbox.pop()
+                self.processed += 1
+                # the returned verdict must agree with idle(now): after
+                # draining the last item every future tick is a no-op
+                return not self.inbox
+            self.quiet_cycles += 1
+            return True
+
+        def idle(self, now):
+            return not self.inbox
+
+        def on_sleep(self, now):
+            self.sleeps += 1
+
+        def on_skipped(self, cycles):
+            self.quiet_cycles += cycles
+
+    def test_proxy_forwards_full_activity_contract(self):
+        comp = self._Sleeper("s")
+        proxy = _TickProxy(comp)
+        # wake() reaches the wrapped component
+        comp._awake = False
+        proxy.wake()
+        assert comp._awake is True
+        # idle() delegates
+        assert proxy.idle(0) is True
+        comp.inbox.append(object())
+        assert proxy.idle(0) is False
+        comp.inbox.clear()
+        # on_sleep / on_skipped forward (and the proxy keeps its own
+        # skip counter for the report)
+        proxy.on_sleep(3)
+        assert comp.sleeps == 1
+        proxy.on_skipped(7)
+        assert comp.quiet_cycles == 7
+        assert proxy.skipped == 7
+        # engine-side bookkeeping lands on the wrapped component
+        proxy._awake = False
+        assert comp._awake is False
+        proxy._idle_since = 42
+        assert comp._idle_since == 42 and proxy._idle_since == 42
+        # tracer rebinding passes through
+        sentinel = object()
+        proxy.tracer = sentinel
+        assert comp.tracer is sentinel and proxy.tracer is sentinel
+
+    def _run(self, profiled):
+        sim = Simulator()
+        comp = sim.add(self._Sleeper("s"))
+        profiler = TickProfiler.attach(sim) if profiled else None
+
+        def feeder(cycle):
+            # external events land on the real component (routing sinks
+            # hold references to it, not to the proxy)
+            if cycle in (100, 300):
+                for _ in range(5):
+                    comp.deliver(object())
+
+        sim.every(50, feeder)
+        sim.run(500)
+        return sim, comp, profiler
+
+    def test_profiled_run_skips_exactly_like_unprofiled(self):
+        sim_p, comp_p, profiler = self._run(profiled=True)
+        sim_u, comp_u, _ = self._run(profiled=False)
+        assert comp_p.ticks == comp_u.ticks
+        assert comp_p.processed == comp_u.processed == 10
+        assert comp_p.quiet_cycles == comp_u.quiet_cycles
+        assert comp_p.sleeps == comp_u.sleeps >= 2
+        assert sim_p.skipped_ticks == sim_u.skipped_ticks > 0
+        # the proxy was told about every elided tick
+        proxy = sim_p.components[0]
+        assert proxy.skipped == sim_p.skipped_ticks
+        assert profiler.total_seconds > 0
 
 
 class TestDisabledOverhead:
