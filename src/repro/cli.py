@@ -237,6 +237,20 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--update-baseline", action="store_true",
                        help="overwrite the baseline with this run "
                             "instead of comparing")
+    bench.add_argument("--compare", nargs=2, default=None,
+                       metavar=("OLD.json", "NEW.json"),
+                       help="print a per-point cycles/sec delta table "
+                            "between two saved reports and exit "
+                            "(no measurement)")
+    from repro.sim.fastlane import FastLaneFlags
+    bench.add_argument("--disable", nargs="+", default=None,
+                       metavar="FLAG",
+                       choices=sorted(FastLaneFlags.__slots__),
+                       help="turn the named fast-lane flags off for "
+                            "this measurement (A/B one busy-path "
+                            "optimisation; the baseline comparison is "
+                            "skipped because the committed baseline "
+                            "was measured with every flag on)")
     bench.add_argument("--strict", action="store_true",
                        help="disable quiescence skipping (A/B runs; "
                             "compared only against a strict baseline)")
@@ -712,34 +726,61 @@ def _cmd_bench_perf(args) -> int:
     import os
     from repro.experiments import benchperf
 
+    if args.compare:
+        old = benchperf.load_report(args.compare[0])
+        new = benchperf.load_report(args.compare[1])
+        for line in benchperf.delta_table(old, new):
+            print(line)
+        return 0
+
     def progress(name: str) -> None:
         print(f"bench-perf: measuring {name} ...", file=sys.stderr)
 
-    payload = benchperf.run_matrix(
-        quick=args.quick, repeats=args.repeats, strict=args.strict,
-        progress=progress,
-    )
-    rows = [
-        [name, point["cycles"], f"{point['wall_seconds']:.2f}",
-         f"{point['cycles_per_second']:.0f}"]
-        for name, point in payload["points"].items()
-    ]
-    print(format_table(
-        ["point", "cycles", "wall s", "cycles/s"], rows,
-    ))
-    benchperf.write_report(args.out, payload)
-    print(f"wrote {args.out}")
-    if args.profile:
-        keys = benchperf.QUICK_MATRIX if args.quick else benchperf.MATRIX
-        print("bench-perf: profiling ...", file=sys.stderr)
-        artifact = benchperf.profile_matrix(
-            keys, top=args.profile_top, strict=args.strict,
+    from repro.sim import fastlane
+
+    disabled = sorted(set(args.disable)) if args.disable else []
+    saved_flags = fastlane.FLAGS.snapshot()
+    try:
+        if disabled:
+            for name in disabled:
+                setattr(fastlane.FLAGS, name, False)
+            fastlane.reset()
+        payload = benchperf.run_matrix(
+            quick=args.quick, repeats=args.repeats, strict=args.strict,
+            progress=progress,
         )
-        root, _ = os.path.splitext(args.out)
-        profile_path = f"{root}_profile.txt"
-        with open(profile_path, "w") as handle:
-            handle.write(artifact)
-        print(f"wrote {profile_path}")
+        if disabled:
+            payload["fastlane_disabled"] = disabled
+        rows = [
+            [name, point["cycles"], f"{point['wall_seconds']:.2f}",
+             f"{point['cycles_per_second']:.0f}"]
+            for name, point in payload["points"].items()
+        ]
+        print(format_table(
+            ["point", "cycles", "wall s", "cycles/s"], rows,
+        ))
+        benchperf.write_report(args.out, payload)
+        print(f"wrote {args.out}")
+        if args.profile:
+            keys = (benchperf.QUICK_MATRIX if args.quick
+                    else benchperf.MATRIX)
+            print("bench-perf: profiling ...", file=sys.stderr)
+            artifact = benchperf.profile_matrix(
+                keys, top=args.profile_top, strict=args.strict,
+            )
+            root, _ = os.path.splitext(args.out)
+            profile_path = f"{root}_profile.txt"
+            with open(profile_path, "w") as handle:
+                handle.write(artifact)
+            print(f"wrote {profile_path}")
+    finally:
+        fastlane.FLAGS.restore(saved_flags)
+        if disabled:
+            fastlane.reset()
+    if disabled:
+        print(f"fast-lane flags disabled ({', '.join(disabled)}); "
+              f"baseline comparison skipped")
+        return 0
     if args.update_baseline:
         benchperf.write_report(args.baseline, payload)
         print(f"updated baseline {args.baseline}")

@@ -130,6 +130,10 @@ class MemoryConfig:
     banks_per_channel: int = 16
     queue_entries: int = 64
     scheduler: str = "frfcfs"
+    #: FR-FCFS scheduling window: how deep into the controller queue the
+    #: scheduler looks for a row hit each cycle (hardware schedulers use
+    #: a similar CAM width).  A window of 1 degenerates to plain FCFS.
+    sched_window: int = 16
     total_bandwidth_gbps: float = 720.0
     timing: HBMTimingConfig = field(default_factory=HBMTimingConfig)
     clock_ratio: int = 4  # core cycles per memory cycle

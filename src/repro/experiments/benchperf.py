@@ -203,3 +203,46 @@ def compare(current: Dict[str, object], baseline: Dict[str, object],
             f"{base_cps:>10.0f}  ({ratio:.2f}x) {verdict}"
         )
     return lines, regressions
+
+
+def delta_table(old: Dict[str, object],
+                new: Dict[str, object]) -> List[str]:
+    """Per-point cycles/sec delta table between two saved reports.
+
+    Unlike :func:`compare` (a regression gate against the committed
+    baseline), this is a symmetric inspection tool for
+    ``repro bench-perf --compare OLD.json NEW.json``: every point
+    present in both reports gets a row with absolute cycles/sec on
+    both sides, the new/old ratio and the percentage delta.  Points
+    present on only one side are listed explicitly so a partial
+    (``--quick``) report reads as partial instead of silently
+    shrinking the table.
+    """
+    lines: List[str] = []
+    old_points = old.get("points", {})
+    new_points = new.get("points", {})
+    if old.get("mode") != new.get("mode"):
+        lines.append(
+            f"note: mode mismatch (old={old.get('mode')}, "
+            f"new={new.get('mode')}); deltas compare different engines"
+        )
+    header = (f"{'point':<24} {'old cyc/s':>12} {'new cyc/s':>12} "
+              f"{'ratio':>7} {'delta':>8}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in sorted(set(old_points) | set(new_points)):
+        old_point = old_points.get(name)
+        new_point = new_points.get(name)
+        if old_point is None or new_point is None:
+            side = "new" if old_point is None else "old"
+            lines.append(f"{name:<24} (only in {side} report)")
+            continue
+        old_cps = old_point["cycles_per_second"]
+        new_cps = new_point["cycles_per_second"]
+        ratio = (new_cps / old_cps) if old_cps else float("inf")
+        delta = (ratio - 1.0) * 100.0
+        lines.append(
+            f"{name:<24} {old_cps:>12.0f} {new_cps:>12.0f} "
+            f"{ratio:>6.2f}x {delta:>+7.1f}%"
+        )
+    return lines

@@ -18,6 +18,8 @@ from typing import Callable, Deque, Optional, Tuple
 
 from repro.config.gpu import MemoryConfig
 from repro.mem.dram import Bank, CoreClockTimings
+from repro.sim import fastlane
+from repro.sim.columnar import ColumnarMemQueue
 from repro.sim.engine import Component
 from repro.sim.request import (
     AccessKind,
@@ -26,9 +28,6 @@ from repro.sim.request import (
     release as release_request,
 )
 
-#: FR-FCFS scheduling window: how deep into the queue the scheduler looks
-#: for a row hit each cycle (hardware schedulers use a similar CAM width).
-SCHED_WINDOW = 16
 
 
 class MemoryController(Component):
@@ -53,7 +52,26 @@ class MemoryController(Component):
         self.row_of = row_of
         self.fill_sink = fill_sink
         self.queue_capacity = config.queue_entries
+        #: FR-FCFS scheduling window: how deep into the queue the
+        #: scheduler looks for a row hit each cycle (hardware
+        #: schedulers use a similar CAM width).  1 degenerates to FCFS.
+        self._window = config.sched_window
+        #: Construction-time fast-lane gate: the request queue as
+        #: struct-of-arrays (bank/row columns scanned against the
+        #: bank-state mirrors below) or a deque of tuples.
+        self._columnar = fastlane.FLAGS.columnar_mem
         self._queue: Deque[Tuple[MemoryRequest, int, int]] = deque()
+        self._cq = ColumnarMemQueue() if self._columnar else None
+        if self._columnar:
+            #: Shadow the class method with the bound columnar tick
+            #: (spares the per-cycle flag branch on the hot call site).
+            self.tick = self._tick_columnar
+        #: Bank-state mirrors (columnar path): ``busy_until`` and
+        #: ``open_row`` as flat int lists, initialised to the Bank()
+        #: defaults and re-synced after every ``bank.access`` -- banks
+        #: are private to this controller, so the mirrors are exact.
+        self._bank_busy = [0] * config.banks_per_channel
+        self._bank_row = [-1] * config.banks_per_channel
         #: Completions ordered by finish cycle. The data bus serialises
         #: every line (``done_at`` equals the advancing bus reservation),
         #: so completions are appended in strictly increasing order and a
@@ -75,10 +93,22 @@ class MemoryController(Component):
 
     @property
     def full(self) -> bool:
-        return len(self._queue) >= self.queue_capacity
+        queue = self._cq if self._columnar else self._queue
+        return len(queue) >= self.queue_capacity
 
     def enqueue(self, request: MemoryRequest) -> bool:
         """Accept a demand request or writeback; False when full."""
+        if self._columnar:
+            cq = self._cq
+            if len(cq.req) - cq.head >= self.queue_capacity:
+                return False
+            if not self._awake:
+                self.wake()
+            line = request.line_addr
+            cq.req.append(request)
+            cq.bank.append(self.bank_of(line))
+            cq.row.append(self.row_of(line))
+            return True
         if len(self._queue) >= self.queue_capacity:
             return False
         if not self._awake:
@@ -96,6 +126,12 @@ class MemoryController(Component):
         if not self._awake:
             self.wake()
         request = acquire_request(AccessKind.STORE, line_addr, sm_id=-1)
+        if self._columnar:
+            cq = self._cq
+            cq.req.append(request)
+            cq.bank.append(self.bank_of(line_addr))
+            cq.row.append(self.row_of(line_addr))
+            return True
         self._queue.append(
             (request, self.bank_of(line_addr), self.row_of(line_addr))
         )
@@ -103,22 +139,43 @@ class MemoryController(Component):
 
     @property
     def pending(self) -> int:
-        return len(self._queue) + len(self._completions) + len(self._retry_fills)
+        queue = self._cq if self._columnar else self._queue
+        return len(queue) + len(self._completions) + len(self._retry_fills)
 
     # ------------------------------------------------------------------
     # Per-cycle work.
     # ------------------------------------------------------------------
 
     def tick(self, now: int) -> bool:
+        # Columnar instances bind ``self.tick = self._tick_columnar``
+        # at construction, so this body is the object path only.
         if self._retry_fills or self._completions:
             self._deliver(now)
         # One command per cycle; bank accesses overlap (bank-level
         # parallelism) and the data bus serialises the resulting line
         # transfers via the bus reservation in _schedule.
-        if self._queue:
+        queue = self._queue
+        if queue:
             self._schedule(now)
         # Idle verdict from end-of-tick state (== self.idle(now)).
-        return not (self._queue or self._completions or self._retry_fills)
+        return not (queue or self._completions or self._retry_fills)
+
+    def _tick_columnar(self, now: int) -> bool:
+        """== :meth:`tick` over the struct-of-arrays queue.
+
+        Occupancy is checked head-vs-len directly: the container's
+        ``__bool__`` is a Python-level call and this runs every cycle a
+        channel is awake.
+        """
+        if self._retry_fills or self._completions:
+            self._deliver(now)
+        cq = self._cq
+        cq_req = cq.req
+        if cq.head < len(cq_req):
+            self._schedule_columnar(now)
+            if cq.head < len(cq_req):
+                return False
+        return not (self._completions or self._retry_fills)
 
     # -- activity contract ---------------------------------------------
 
@@ -130,6 +187,11 @@ class MemoryController(Component):
         when the next request arrives (:meth:`enqueue` wakes us), so a
         drained controller behaves identically however long it sleeps.
         """
+        if self._columnar:
+            cq = self._cq
+            if cq.head < len(cq.req):
+                return False
+            return not (self._completions or self._retry_fills)
         return not (self._queue or self._completions or self._retry_fills)
 
     def _deliver(self, now: int) -> None:
@@ -159,7 +221,7 @@ class MemoryController(Component):
         fallback_index = -1
         index = 0
         for entry in queue:
-            if index >= SCHED_WINDOW:
+            if index >= self._window:
                 break
             bank = banks[entry[1]]
             if bank.busy_until <= now:
@@ -180,6 +242,83 @@ class MemoryController(Component):
         is_write = request.kind is AccessKind.STORE
         row_hit = bank.is_row_hit(row)
         data_at = bank.access(row, now, self.timings, is_write=is_write)
+        # Serialise the line over the channel data bus.
+        bus_start = max(data_at, self._bus_free_at)
+        self._bus_free_at = bus_start + self._line_cycles
+        done_at = bus_start + self._line_cycles
+        self.busy_cycles += self._line_cycles
+        self.lines_transferred += 1
+        if self.tracer.enabled:
+            self.tracer.emit_dram_service(
+                now, self.name, request.line_addr, is_write, row_hit,
+                done_at,
+            )
+        if is_write:
+            self.writes += 1
+            completion = None
+            if request.sm_id == -1:
+                # Writeback scheduled; nothing references it any more.
+                release_request(request)
+        else:
+            self.reads += 1
+            completion = request
+        self._completions.append((done_at, completion))
+
+    def _schedule_columnar(self, now: int) -> None:
+        """== :meth:`_schedule` over the struct-of-arrays queue.
+
+        The window scan touches only the scalar ``bank``/``row``
+        columns and the flat bank-state mirrors (no per-entry tuple
+        unpack, no Bank attribute chase); the request object is read
+        once, for the single entry issued.  Pick preference and the
+        issue tail are identical to the object path.
+        """
+        cq = self._cq
+        q_bank = cq.bank
+        q_row = cq.row
+        head = cq.head
+        end = head + self._window
+        if end > len(q_bank):
+            end = len(q_bank)
+        busy = self._bank_busy
+        rows = self._bank_row
+        picked = -1
+        fallback = -1
+        for i in range(head, end):
+            b = q_bank[i]
+            if busy[b] <= now:
+                if rows[b] == q_row[i]:
+                    picked = i
+                    break
+                if fallback < 0:
+                    fallback = i
+        if picked < 0:
+            picked = fallback
+        if picked < 0:
+            return
+
+        request = cq.req[picked]
+        bank_id = q_bank[picked]
+        row = q_row[picked]
+        if picked == head:
+            head += 1
+            if head >= 64:
+                del cq.req[:head]
+                del q_bank[:head]
+                del q_row[:head]
+                head = 0
+            cq.head = head
+        else:
+            del cq.req[picked]
+            del q_bank[picked]
+            del q_row[picked]
+        bank = self.banks[bank_id]
+        is_write = request.kind is AccessKind.STORE
+        row_hit = bank.is_row_hit(row)
+        data_at = bank.access(row, now, self.timings, is_write=is_write)
+        # Re-sync the mirrors with the bank's post-access state.
+        busy[bank_id] = bank.busy_until
+        rows[bank_id] = bank.open_row
         # Serialise the line over the channel data bus.
         bus_start = max(data_at, self._bus_free_at)
         self._bus_free_at = bus_start + self._line_cycles

@@ -1,0 +1,435 @@
+"""Struct-of-arrays (columnar) containers for the saturated busy path.
+
+The object-path queues (:mod:`repro.sim.queues`) hold whole
+:class:`~repro.sim.request.MemoryRequest` objects (or tuples wrapping
+them) in deques.  On saturated NUBA points the per-cycle loops over
+those queues -- the LLC arbiter, the FR-FCFS window scan, the crossbar
+credit loop -- spend most of their time chasing attributes through
+objects that were fetched from a deque one element at a time.
+
+The columnar lane keeps the same in-flight population as parallel
+arrays of scalars instead: one list per field (line address, bank, row,
+packet size, destination, maturity deadline) plus a ``head`` index in
+place of ``popleft``.  The request object itself rides along in its own
+column and is rematerialised only at component boundaries (reply sinks,
+fill sinks, tracer emissions); the per-cycle decision loops touch only
+the scalar columns.
+
+Equivalence: every container here mirrors its object-path counterpart
+field for field -- same capacity checks, same ``total_pushed`` /
+``peak_occupancy`` accounting, same FIFO/arbitration order.  Any
+derived column (the LLC meta bits, the controller's bank/row columns)
+is computed from request fields that are immutable while the request
+is queued, so reading the column is identical to re-reading the
+request.  The bit-identical bar is enforced by
+tests/test_fastlane_equivalence.py with the ``columnar_*`` flags on
+versus strict mode with the fast lane disabled.
+
+Reset discipline: columnar containers register themselves (weakly) in
+a module-level registry so :func:`repro.sim.fastlane.reset` can empty
+any still-live arrays -- symmetric with the object path, where
+``fastlane.reset`` has nothing to clear because deques die with their
+owners, but required here so ``disabled()`` can never observe stale
+columnar state through a leaked reference.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import List, Optional
+
+from repro.sim import fastlane
+from repro.sim.request import AccessKind, MemoryRequest
+
+# ---------------------------------------------------------------------------
+# LLC request meta bits (derived column, computed once at push).
+# ---------------------------------------------------------------------------
+
+#: The request is a store (write-validate path, retires at the slice).
+META_STORE = 1
+#: The request is an atomic (load path that dirties the line).
+META_ATOMIC = 2
+#: The request targets a read-only replica line (MDR).
+META_REPLICA = 4
+#: The issuing SM lives in the line's home partition.
+META_LOCAL = 8
+
+#: ``AccessKind`` -> kind meta bits (loads and read-only loads are 0).
+_KIND_META = {
+    AccessKind.LOAD: 0,
+    AccessKind.LOAD_RO: 0,
+    AccessKind.STORE: META_STORE,
+    AccessKind.ATOMIC: META_ATOMIC,
+}
+
+#: Fill-queue operation codes (columnar form of the object path's
+#: ``("fill" | "replica" | "inval", payload)`` tuples).
+FILL_DEMAND = 0
+FILL_REPLICA = 1
+FILL_INVAL = 2
+
+#: Compact the backing lists (dropping consumed slots below ``head``)
+#: once this many entries have been popped.  Amortised O(1); bounds how
+#: long a consumed request can stay referenced by a stale slot.
+_COMPACT_AT = 64
+
+
+# ---------------------------------------------------------------------------
+# Live-container registry (fastlane reset discipline).
+# ---------------------------------------------------------------------------
+
+#: Weak references to every live columnar container, so
+#: :func:`repro.sim.fastlane.reset` can clear in-flight arrays without
+#: keeping abandoned systems alive.
+_live: List["weakref.ref"] = []
+
+
+def _track(container: object) -> None:
+    """Register a container for clearing on ``fastlane.reset()``."""
+    _live.append(weakref.ref(container))
+
+
+@fastlane.register_cache
+def _clear_live() -> None:
+    for ref in _live:
+        container = ref()
+        if container is not None:
+            container.clear()
+    _live.clear()
+
+
+def live_containers() -> list:
+    """The currently live columnar containers (tests, diagnostics)."""
+    return [c for c in (ref() for ref in _live) if c is not None]
+
+
+# ---------------------------------------------------------------------------
+# Containers.
+# ---------------------------------------------------------------------------
+
+
+class ColumnarRequestQueue:
+    """SoA drop-in for the LLC's bounded LMR/RMR queues.
+
+    Parallel columns: ``req`` (the object, boundary use only), ``meta``
+    (kind/replica/locality bits, see ``META_*``) and ``line`` (the line
+    address).  ``head`` replaces ``popleft``; consumers may read and
+    advance the columns directly (the LLC tick does) -- the methods
+    here are the API-compatible slow path used by ingress and tests.
+    """
+
+    __slots__ = (
+        "capacity", "name", "req", "meta", "line", "head",
+        "peak_occupancy", "total_pushed", "__weakref__",
+    )
+
+    def __init__(self, capacity: int, name: str = "queue") -> None:
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self.req: List[Optional[MemoryRequest]] = []
+        self.meta: List[int] = []
+        self.line: List[int] = []
+        self.head = 0
+        self.peak_occupancy = 0
+        self.total_pushed = 0
+        _track(self)
+
+    def __len__(self) -> int:
+        return len(self.req) - self.head
+
+    def __bool__(self) -> bool:
+        return len(self.req) > self.head
+
+    def __iter__(self):
+        return iter(self.req[self.head:])
+
+    @property
+    def full(self) -> bool:
+        return len(self.req) - self.head >= self.capacity
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - (len(self.req) - self.head)
+
+    @staticmethod
+    def meta_of(request: MemoryRequest) -> int:
+        """The meta bits for one request (push-time derivation)."""
+        meta = _KIND_META[request.kind]
+        if request.is_replica_access:
+            meta |= META_REPLICA
+        if request.src_partition == request.home_partition:
+            meta |= META_LOCAL
+        return meta
+
+    def push(self, request: MemoryRequest) -> bool:
+        """Append one request; False when full (== BoundedQueue.push)."""
+        req = self.req
+        occupancy = len(req) - self.head
+        if occupancy >= self.capacity:
+            return False
+        req.append(request)
+        meta = _KIND_META[request.kind]
+        if request.is_replica_access:
+            meta |= META_REPLICA
+        if request.src_partition == request.home_partition:
+            meta |= META_LOCAL
+        self.meta.append(meta)
+        self.line.append(request.line_addr)
+        self.total_pushed += 1
+        occupancy += 1
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
+        return True
+
+    def push_front(self, request: MemoryRequest) -> None:
+        """Return a just-popped request to the head (stall recovery).
+
+        Like the object path, this bypasses the capacity check and the
+        push counters (the request was already counted on first entry).
+        When the slot below ``head`` still holds this very request --
+        the pop-then-stall shape -- un-popping is a head decrement.
+        """
+        head = self.head
+        if head > 0 and self.req[head - 1] is request:
+            self.head = head - 1
+            return
+        self.req.insert(head, request)
+        self.meta.insert(head, self.meta_of(request))
+        self.line.insert(head, request.line_addr)
+
+    def pop(self) -> MemoryRequest:
+        """Remove and return the head request (IndexError when empty)."""
+        head = self.head
+        request = self.req[head]
+        head += 1
+        if head >= _COMPACT_AT:
+            del self.req[:head]
+            del self.meta[:head]
+            del self.line[:head]
+            head = 0
+        self.head = head
+        return request
+
+    def peek(self) -> Optional[MemoryRequest]:
+        """The head request without removing it (None when empty)."""
+        head = self.head
+        if head < len(self.req):
+            return self.req[head]
+        return None
+
+    def clear(self) -> None:
+        """Drop every queued entry (fastlane reset)."""
+        del self.req[:]
+        del self.meta[:]
+        del self.line[:]
+        self.head = 0
+
+
+class ColumnarFillQueue:
+    """SoA drop-in for the LLC fill queue.
+
+    Columns: ``kind`` (``FILL_DEMAND`` / ``FILL_REPLICA`` /
+    ``FILL_INVAL`` int codes in place of the object path's strings) and
+    ``payload`` (the request for demand fills, the line address for
+    replica installs and invalidations).
+    """
+
+    __slots__ = (
+        "capacity", "name", "kind", "payload", "head",
+        "peak_occupancy", "total_pushed", "__weakref__",
+    )
+
+    def __init__(self, capacity: int, name: str = "fill") -> None:
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self.kind: List[int] = []
+        self.payload: List[object] = []
+        self.head = 0
+        self.peak_occupancy = 0
+        self.total_pushed = 0
+        _track(self)
+
+    def __len__(self) -> int:
+        return len(self.kind) - self.head
+
+    def __bool__(self) -> bool:
+        return len(self.kind) > self.head
+
+    @property
+    def full(self) -> bool:
+        return len(self.kind) - self.head >= self.capacity
+
+    def push(self, kind: int, payload: object) -> bool:
+        """Append one fill op; False when full."""
+        kinds = self.kind
+        occupancy = len(kinds) - self.head
+        if occupancy >= self.capacity:
+            return False
+        kinds.append(kind)
+        self.payload.append(payload)
+        self.total_pushed += 1
+        occupancy += 1
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
+        return True
+
+    def pop(self) -> tuple:
+        """Remove and return the head ``(kind, payload)`` op."""
+        head = self.head
+        kind = self.kind[head]
+        payload = self.payload[head]
+        head += 1
+        if head >= _COMPACT_AT:
+            del self.kind[:head]
+            del self.payload[:head]
+            head = 0
+        self.head = head
+        return kind, payload
+
+    def clear(self) -> None:
+        """Drop every queued fill op (fastlane reset)."""
+        del self.kind[:]
+        del self.payload[:]
+        self.head = 0
+
+
+class ColumnarDelayLine:
+    """SoA drop-in for the LLC access pipeline.
+
+    Columns: ``at`` (maturity deadline -- monotonically non-decreasing
+    because every push is ``now + delay`` with a fixed delay), ``tag``
+    (0 = reply, 1 = miss, replacing the object path's strings) and
+    ``req``.  The maturity sweep compares only the ``at`` column.
+    """
+
+    __slots__ = ("delay", "at", "tag", "req", "head", "__weakref__")
+
+    def __init__(self, delay: int) -> None:
+        self.delay = delay
+        self.at: List[int] = []
+        self.tag: List[int] = []
+        self.req: List[MemoryRequest] = []
+        self.head = 0
+        _track(self)
+
+    def __len__(self) -> int:
+        return len(self.at) - self.head
+
+    def __bool__(self) -> bool:
+        return len(self.at) > self.head
+
+    def push(self, tag: int, request: MemoryRequest, now: int) -> None:
+        """Enter one action into the pipeline, maturing after ``delay``."""
+        self.at.append(now + self.delay)
+        self.tag.append(tag)
+        self.req.append(request)
+
+    def clear(self) -> None:
+        """Drop every in-flight entry (fastlane reset)."""
+        del self.at[:]
+        del self.tag[:]
+        del self.req[:]
+        self.head = 0
+
+
+class ColumnarMemQueue:
+    """SoA drop-in for the FR-FCFS controller queue.
+
+    Columns: ``req``, ``bank`` and ``row`` -- the scheduler's window
+    scan reads only the scalar ``bank``/``row`` columns against the
+    controller's bank-state mirrors, touching the ``req`` column only
+    for the single entry it issues.
+    """
+
+    __slots__ = ("req", "bank", "row", "head", "__weakref__")
+
+    def __init__(self) -> None:
+        self.req: List[MemoryRequest] = []
+        self.bank: List[int] = []
+        self.row: List[int] = []
+        self.head = 0
+        _track(self)
+
+    def __len__(self) -> int:
+        return len(self.req) - self.head
+
+    def __bool__(self) -> bool:
+        return len(self.req) > self.head
+
+    def push(self, request: MemoryRequest, bank: int, row: int) -> None:
+        """Append one request with its precomputed bank/row columns."""
+        self.req.append(request)
+        self.bank.append(bank)
+        self.row.append(row)
+
+    def pop_at(self, index: int) -> MemoryRequest:
+        """Remove and return the entry at queue-relative ``index``.
+
+        Index 0 (the common FR-FCFS pick under row locality) is a head
+        advance; interior picks splice all three columns, matching the
+        object path's ``del queue[picked]`` on a deque.
+        """
+        absolute = self.head + index
+        request = self.req[absolute]
+        if index == 0:
+            absolute += 1
+            if absolute >= _COMPACT_AT:
+                del self.req[:absolute]
+                del self.bank[:absolute]
+                del self.row[:absolute]
+                absolute = 0
+            self.head = absolute
+        else:
+            del self.req[absolute]
+            del self.bank[absolute]
+            del self.row[absolute]
+        return request
+
+    def clear(self) -> None:
+        """Drop every queued entry (fastlane reset)."""
+        del self.req[:]
+        del self.bank[:]
+        del self.row[:]
+        self.head = 0
+
+
+class ColumnarPortQueue:
+    """SoA drop-in for one crossbar input-port queue.
+
+    Columns: ``item`` (the packet payload, boundary use only), ``size``
+    (bytes, drives the credit loop) and ``dest`` (output port).  The
+    batched transfer loop reads ``size``/``dest`` and advances ``head``
+    in locals, writing it back once per port per cycle.
+    """
+
+    __slots__ = ("item", "size", "dest", "head", "__weakref__")
+
+    def __init__(self) -> None:
+        self.item: List[object] = []
+        self.size: List[int] = []
+        self.dest: List[int] = []
+        self.head = 0
+        _track(self)
+
+    def __len__(self) -> int:
+        return len(self.item) - self.head
+
+    def __bool__(self) -> bool:
+        return len(self.item) > self.head
+
+    def push(self, item: object, size: int, dest: int) -> None:
+        """Append one packet (payload, byte size, output port)."""
+        self.item.append(item)
+        self.size.append(size)
+        self.dest.append(dest)
+
+    def clear(self) -> None:
+        """Drop every queued packet (fastlane reset)."""
+        del self.item[:]
+        del self.size[:]
+        del self.dest[:]
+        self.head = 0

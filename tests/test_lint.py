@@ -198,6 +198,42 @@ class TestFastlaneChecker:
         result = _lint("src/repro/vm/fx.py", source, [FastlaneChecker()])
         assert _rules(result) == []
 
+    def test_unregistered_columnar_memo_is_f002(self):
+        """A columnar-style live-container registry (module-level list
+        populated under a ``columnar_*`` flag) must register a clearer
+        -- the shape of ``repro.sim.columnar._live`` minus its
+        ``@fastlane.register_cache`` hook."""
+        source = """
+            from repro.sim import fastlane
+
+            _live = []
+
+            def track(container):
+                if fastlane.FLAGS.columnar_llc:
+                    _live.append(container)
+                return container
+        """
+        result = _lint("src/repro/sim/fx.py", source, [FastlaneChecker()])
+        assert "F002" in _rules(result)
+
+    def test_registered_columnar_memo_is_clean(self):
+        source = """
+            from repro.sim import fastlane
+
+            _live = []
+
+            def track(container):
+                if fastlane.FLAGS.columnar_llc:
+                    _live.append(container)
+                return container
+
+            @fastlane.register_cache
+            def _clear_live():
+                _live.clear()
+        """
+        result = _lint("src/repro/sim/fx.py", source, [FastlaneChecker()])
+        assert _rules(result) == []
+
     def test_read_only_module_dict_exempt(self):
         source = """
             from repro.sim import fastlane
