@@ -237,7 +237,7 @@ class LLCSlice(Component):
     # Per-cycle work.
     # ------------------------------------------------------------------
 
-    def tick(self, now: int) -> bool:
+    def tick(self, now: int) -> object:
         # Columnar instances bind ``self.tick = self._tick_columnar``
         # at construction, so this body is the object path only.
         # The deque objects are stable (mutated in place), so the
@@ -256,12 +256,21 @@ class LLCSlice(Component):
         rmr_items = self.rmr._items
         if fill_items or lmr_items or rmr_items:
             self._arbitrate(now)
-        # Idle verdict from end-of-tick state (== self.idle(now)); the
-        # engine skips the separate idle() call when tick returns one.
-        return not (lmr_items or rmr_items or fill_items or pipeline
-                    or retry_replies or retry_misses)
+        # Activity verdict from end-of-tick state: queued requests,
+        # fills and blocked retries need per-cycle ticks; a pipeline
+        # with nothing else pending matures at a known cycle (the
+        # delivery sweep above guarantees remaining heads are in the
+        # future), so the slice sleeps until then -- any ingress push
+        # (request, fill, invalidate) wakes it early.
+        if (lmr_items or rmr_items or fill_items
+                or retry_replies or retry_misses):
+            return False
+        if pipeline:
+            deadline = pipeline[0][0]
+            return deadline if deadline > now + 1 else False
+        return True
 
-    def _tick_columnar(self, now: int) -> bool:
+    def _tick_columnar(self, now: int) -> object:
         """One slice cycle over the struct-of-arrays state.
 
         Semantically identical to the object path (same drain /
@@ -406,12 +415,17 @@ class LLCSlice(Component):
                     lmr_busy = busy
                 else:
                     rmr_busy = busy
-        # Idle verdict from end-of-tick state (== self.idle(now)); the
-        # occupancy flags were maintained through arbitration, so only
-        # the pipeline (appended to above) is re-checked.
-        return not (retry_replies or retry_misses
-                    or lmr_busy or rmr_busy or fill_busy
-                    or pipe_head < len(pipe_at))
+        # Activity verdict from end-of-tick state (occupancy flags were
+        # maintained through arbitration): queued work or blocked
+        # retries keep the slice awake; a pipeline-only slice sleeps
+        # until the head matures (== the object path's verdict).
+        if (retry_replies or retry_misses
+                or lmr_busy or rmr_busy or fill_busy):
+            return False
+        if pipe_head < len(pipe_at):
+            deadline = pipe_at[pipe_head]
+            return deadline if deadline > now + 1 else False
+        return True
 
     def _process_fill_columnar(self, code: int, payload, now: int) -> None:
         """== _process_fill_op over the int-coded columnar fill queue."""

@@ -222,8 +222,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--quick", action="store_true",
                        help="2-point matrix, single repeat (CI smoke)")
     bench.add_argument("--repeats", type=int, default=None,
-                       help="timed repeats per point, fastest kept "
-                            "(default: 3, or 1 with --quick)")
+                       help="timed repeats per point; best and median "
+                            "are recorded and regression gating uses "
+                            "the median (default: 3, or 1 with "
+                            "--quick)")
     bench.add_argument("--out", default="BENCH_engine.json",
                        metavar="PATH",
                        help="result JSON (default BENCH_engine.json)")
@@ -241,7 +243,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar=("OLD.json", "NEW.json"),
                        help="print a per-point cycles/sec delta table "
                             "between two saved reports and exit "
-                            "(no measurement)")
+                            "(no measurement); exits nonzero when any "
+                            "point regressed beyond --threshold")
+    bench.add_argument("--no-fail", action="store_true",
+                       help="with --compare: always exit 0, even when "
+                            "points regressed beyond --threshold "
+                            "(inspection-only runs)")
     from repro.sim.fastlane import FastLaneFlags
     bench.add_argument("--disable", nargs="+", default=None,
                        metavar="FLAG",
@@ -731,6 +738,30 @@ def _cmd_bench_perf(args) -> int:
         new = benchperf.load_report(args.compare[1])
         for line in benchperf.delta_table(old, new):
             print(line)
+        # The delta table doubles as a regression gate: any point
+        # present in both reports that lost more than --threshold of
+        # its (median-preferred) cycles/sec fails the command unless
+        # --no-fail turns it back into an inspection-only run.
+        if old.get("mode") != new.get("mode"):
+            return 0  # different engines: deltas are not a gate
+        old_points = old.get("points", {})
+        regressed = []
+        for name, new_point in new.get("points", {}).items():
+            old_point = old_points.get(name)
+            if old_point is None:
+                continue
+            old_cps = benchperf.gate_cps(old_point)
+            new_cps = benchperf.gate_cps(new_point)
+            ratio = (new_cps / old_cps) if old_cps else float("inf")
+            if ratio < 1.0 - args.threshold:
+                regressed.append(name)
+        if regressed:
+            print(f"\n{len(regressed)} point(s) regressed more than "
+                  f"{args.threshold * 100:.0f}%: {', '.join(regressed)}")
+            if args.no_fail:
+                print("--no-fail: exiting 0 anyway")
+                return 0
+            return 1
         return 0
 
     def progress(name: str) -> None:
@@ -753,11 +784,14 @@ def _cmd_bench_perf(args) -> int:
             payload["fastlane_disabled"] = disabled
         rows = [
             [name, point["cycles"], f"{point['wall_seconds']:.2f}",
-             f"{point['cycles_per_second']:.0f}"]
+             f"{point['cycles_per_second']:.0f}",
+             f"{point['cycles_per_second_median']:.0f}",
+             f"{point['wall_seconds_stdev']:.3f}"]
             for name, point in payload["points"].items()
         ]
         print(format_table(
-            ["point", "cycles", "wall s", "cycles/s"], rows,
+            ["point", "cycles", "wall s", "cycles/s",
+             "median c/s", "sd s"], rows,
         ))
         benchperf.write_report(args.out, payload)
         print(f"wrote {args.out}")

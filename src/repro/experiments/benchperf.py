@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import platform
+import statistics
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -71,13 +72,17 @@ def point_id(key: RunKey) -> str:
 
 def measure_point(key: RunKey, repeats: int = 3,
                   strict: bool = False) -> Dict[str, float]:
-    """Simulate one point ``repeats`` times; keep the fastest run.
+    """Simulate one point ``repeats`` times; record best and median.
 
     Every repeat builds a fresh system (no warm caches); only
     ``run_workload`` is timed, so workload generation and system
-    construction stay out of the number.
+    construction stay out of the number.  The fastest repeat
+    (``wall_seconds`` / ``cycles_per_second``) approximates the noise
+    floor; the median (``*_median``) is what regression gating uses,
+    since a single lucky repeat should not mask a real slowdown --
+    and the sample stdev quantifies how trustworthy the point is.
     """
-    best: Optional[float] = None
+    times: List[float] = []
     cycles = 0
     for _ in range(max(1, repeats)):
         runner = ExperimentRunner(strict=strict)
@@ -87,14 +92,42 @@ def measure_point(key: RunKey, repeats: int = 3,
         result = system.run_workload(workload, max_cycles=runner.max_cycles)
         elapsed = time.perf_counter() - start
         cycles = result.cycles
-        if best is None or elapsed < best:
-            best = elapsed
-    assert best is not None
+        times.append(elapsed)
+    best = min(times)
+    median = statistics.median(times)
+    stdev = statistics.stdev(times) if len(times) > 1 else 0.0
     return {
         "cycles": cycles,
         "wall_seconds": round(best, 4),
+        "wall_seconds_median": round(median, 4),
+        "wall_seconds_stdev": round(stdev, 4),
         "cycles_per_second": round(cycles / best, 1) if best else 0.0,
+        "cycles_per_second_median": (
+            round(cycles / median, 1) if median else 0.0
+        ),
     }
+
+
+def gate_cps(point: Dict[str, float]) -> float:
+    """The cycles/sec figure regression gates run on.
+
+    Median-of-repeats when the report recorded it; older reports
+    (pre noise-hardening) fall back to the best-run figure so
+    committed baselines stay comparable without regeneration.
+    """
+    median = point.get("cycles_per_second_median")
+    if median:
+        return median
+    return point.get("cycles_per_second", 0.0)
+
+
+def _rel_stdev(point: Dict[str, float]) -> Optional[float]:
+    """Relative run-to-run noise (stdev / median), None when absent."""
+    stdev = point.get("wall_seconds_stdev")
+    median = point.get("wall_seconds_median")
+    if stdev is None or not median:
+        return None
+    return stdev / median
 
 
 def run_matrix(quick: bool = False, repeats: Optional[int] = None,
@@ -177,6 +210,10 @@ def compare(current: Dict[str, object], baseline: Dict[str, object],
     regressed by more than ``threshold`` (fractional cycles/sec drop).
     Points missing from either side are skipped -- a quick run checks
     only its own two points against a full baseline.
+
+    Gating runs on the median-of-repeats figure (:func:`gate_cps`)
+    when a side recorded it, so one lucky or unlucky repeat cannot
+    flip the verdict.
     """
     lines: List[str] = []
     regressions: List[str] = []
@@ -191,8 +228,8 @@ def compare(current: Dict[str, object], baseline: Dict[str, object],
         base = base_points.get(name)
         if base is None:
             continue
-        cur_cps = point["cycles_per_second"]
-        base_cps = base["cycles_per_second"]
+        cur_cps = gate_cps(point)
+        base_cps = gate_cps(base)
         ratio = (cur_cps / base_cps) if base_cps else float("inf")
         verdict = "ok"
         if ratio < 1.0 - threshold:
@@ -217,6 +254,12 @@ def delta_table(old: Dict[str, object],
     present on only one side are listed explicitly so a partial
     (``--quick``) report reads as partial instead of silently
     shrinking the table.
+
+    Ratios use the same median-preferred figure the regression gate
+    uses (:func:`gate_cps`); the trailing stdev columns show each
+    side's run-to-run noise (stdev / median wall time, percent) so a
+    delta can be read against the measurement's jitter -- a dash
+    means the report predates noise recording.
     """
     lines: List[str] = []
     old_points = old.get("points", {})
@@ -227,7 +270,7 @@ def delta_table(old: Dict[str, object],
             f"new={new.get('mode')}); deltas compare different engines"
         )
     header = (f"{'point':<24} {'old cyc/s':>12} {'new cyc/s':>12} "
-              f"{'ratio':>7} {'delta':>8}")
+              f"{'ratio':>7} {'delta':>8} {'old sd':>7} {'new sd':>7}")
     lines.append(header)
     lines.append("-" * len(header))
     for name in sorted(set(old_points) | set(new_points)):
@@ -237,12 +280,16 @@ def delta_table(old: Dict[str, object],
             side = "new" if old_point is None else "old"
             lines.append(f"{name:<24} (only in {side} report)")
             continue
-        old_cps = old_point["cycles_per_second"]
-        new_cps = new_point["cycles_per_second"]
+        old_cps = gate_cps(old_point)
+        new_cps = gate_cps(new_point)
         ratio = (new_cps / old_cps) if old_cps else float("inf")
         delta = (ratio - 1.0) * 100.0
+        noises = []
+        for point in (old_point, new_point):
+            noise = _rel_stdev(point)
+            noises.append("-" if noise is None else f"{noise * 100.0:.1f}%")
         lines.append(
             f"{name:<24} {old_cps:>12.0f} {new_cps:>12.0f} "
-            f"{ratio:>6.2f}x {delta:>+7.1f}%"
+            f"{ratio:>6.2f}x {delta:>+7.1f}% {noises[0]:>7} {noises[1]:>7}"
         )
     return lines

@@ -146,7 +146,7 @@ class MemoryController(Component):
     # Per-cycle work.
     # ------------------------------------------------------------------
 
-    def tick(self, now: int) -> bool:
+    def tick(self, now: int) -> object:
         # Columnar instances bind ``self.tick = self._tick_columnar``
         # at construction, so this body is the object path only.
         if self._retry_fills or self._completions:
@@ -156,11 +156,42 @@ class MemoryController(Component):
         # transfers via the bus reservation in _schedule.
         queue = self._queue
         if queue:
+            occupancy = len(queue)
             self._schedule(now)
-        # Idle verdict from end-of-tick state (== self.idle(now)).
-        return not (queue or self._completions or self._retry_fills)
+            if queue:
+                if len(queue) < occupancy or self._retry_fills:
+                    return False  # issued (or retrying): stay awake
+                if now < self._no_sleep_until:
+                    return False  # anti-churn window: skip the scan
+                # Stalled scan: every bank in the FR-FCFS window is
+                # busy past `now` (anything ready would have issued),
+                # so the next issue opportunity is the earliest of
+                # those banks' free cycles -- bounded by an earlier
+                # completion maturing on the data bus.
+                banks = self.banks
+                window = self._window
+                deadline = None
+                index = 0
+                for entry in queue:
+                    if index >= window:
+                        break
+                    busy_until = banks[entry[1]].busy_until
+                    if deadline is None or busy_until < deadline:
+                        deadline = busy_until
+                    index += 1
+                completions = self._completions
+                if completions and completions[0][0] < deadline:
+                    deadline = completions[0][0]
+                return deadline if deadline > now + 1 else False
+        if self._retry_fills:
+            return False  # blocked fill: retry the sink every cycle
+        completions = self._completions
+        if completions:
+            deadline = completions[0][0]
+            return deadline if deadline > now + 1 else False
+        return True
 
-    def _tick_columnar(self, now: int) -> bool:
+    def _tick_columnar(self, now: int) -> object:
         """== :meth:`tick` over the struct-of-arrays queue.
 
         Occupancy is checked head-vs-len directly: the container's
@@ -171,11 +202,39 @@ class MemoryController(Component):
             self._deliver(now)
         cq = self._cq
         cq_req = cq.req
-        if cq.head < len(cq_req):
+        head = cq.head
+        if head < len(cq_req):
+            occupancy = len(cq_req) - head
             self._schedule_columnar(now)
-            if cq.head < len(cq_req):
-                return False
-        return not (self._completions or self._retry_fills)
+            q_bank = cq.bank
+            head = cq.head
+            if head < len(q_bank):
+                if len(q_bank) - head < occupancy or self._retry_fills:
+                    return False  # issued (or retrying): stay awake
+                if now < self._no_sleep_until:
+                    return False  # anti-churn window: skip the scan
+                # Stalled scan (== the object path): earliest window
+                # bank free cycle, bounded by the completion head.
+                end = head + self._window
+                if end > len(q_bank):
+                    end = len(q_bank)
+                busy = self._bank_busy
+                deadline = busy[q_bank[head]]
+                for i in range(head + 1, end):
+                    busy_until = busy[q_bank[i]]
+                    if busy_until < deadline:
+                        deadline = busy_until
+                completions = self._completions
+                if completions and completions[0][0] < deadline:
+                    deadline = completions[0][0]
+                return deadline if deadline > now + 1 else False
+        if self._retry_fills:
+            return False  # blocked fill: retry the sink every cycle
+        completions = self._completions
+        if completions:
+            deadline = completions[0][0]
+            return deadline if deadline > now + 1 else False
+        return True
 
     # -- activity contract ---------------------------------------------
 

@@ -126,7 +126,7 @@ class Crossbar(Component):
     # Per-cycle work.
     # ------------------------------------------------------------------
 
-    def tick(self, now: int) -> bool:
+    def tick(self, now: int) -> object:
         if self._arrivals:
             self._deliver(now)
         if self._active:
@@ -134,8 +134,19 @@ class Crossbar(Component):
                 self._transfer_columnar(now)
             else:
                 self._transfer(now)
-        # Idle verdict from end-of-tick state (== self.idle(now)).
-        return not self._arrivals and not self._active
+            if self._active:
+                return False  # queued inputs: transfer again next cycle
+        # Activity verdict from end-of-tick state: no inputs queued, so
+        # the only pending work is pipeline arrivals.  A head already
+        # matured means the sink refused it (head-of-line block, retry
+        # every cycle); otherwise the earliest maturity across the
+        # output pipes is a timed wakeup (port credit accrues lazily
+        # against absolute cycles, so the elided ticks mutate nothing).
+        arrivals = self._arrivals
+        if not arrivals:
+            return True
+        deadline = min(pipe[0][0] for pipe in arrivals.values())
+        return deadline if deadline > now + 1 else False
 
     # -- activity contract ---------------------------------------------
 
